@@ -1,0 +1,53 @@
+"""Design-choice ablations for ADAPT (DESIGN.md commitments).
+
+* Priority ranges — the paper's Section 3.2 sweep before fixing
+  HP=[0,3] / MP=(3,12].
+* Monitoring-interval length — Section 3.1's 0.25M-4M study, expressed as
+  multiples of the LLC block count.
+* Monitor-set count — Section 3.1 samples 40 sets ("as few as 32 enough").
+"""
+
+from repro.experiments.ablation import (
+    run_interval_ablation,
+    run_monitor_sets_ablation,
+    run_priority_range_ablation,
+)
+
+
+def test_ablation_priority_ranges(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: run_priority_range_ablation(
+            runner, high_values=(3.0, 8.0), medium_values=(10.0, 12.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_priority_ranges", result.render())
+    spread = max(result.gains.values()) - min(result.gains.values())
+    # The paper found the scheme robust across ranges; enormous spread
+    # would indicate the classification, not the ranges, is doing the work.
+    assert spread < 5.0, f"priority ranges unexpectedly dominant: {spread:.2f}pp spread"
+
+
+def test_ablation_interval(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: run_interval_ablation(runner, multipliers=(4, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_interval", result.render())
+    short = result.gains["interval = 4x LLC blocks"]
+    long = result.gains["interval = 16x LLC blocks"]
+    # DESIGN.md: the short interval undersamples per-app footprints at 16
+    # cores, so the long interval must not be worse.
+    assert long >= short - 0.5
+
+
+def test_ablation_monitor_sets(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: run_monitor_sets_ablation(runner, set_counts=(8, 40)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_monitor_sets", result.render())
+    assert result.gains["40 monitor sets"] > -1.0

@@ -1,0 +1,30 @@
+"""Figure 3: 16-core weighted-speed-up s-curves over TA-DRRIP.
+
+Paper: ADAPT_bp32 averages +4.7% (up to +7%) over TA-DRRIP across sixty
+16-core workloads; LRU loses; SHiP is slightly below baseline; EAF sits
+between ADAPT_ins and ADAPT_bp32.  Expected reproduced shape: ADAPT
+variants and EAF clearly above baseline with mid-single-digit average
+gains, LRU below baseline.  (Known deviation: our SHiP lands *above* its
+paper counterpart — see EXPERIMENTS.md.)
+"""
+
+from repro.experiments.scurves import run_scurve
+
+
+def test_fig3_16core_scurve(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: run_scurve(runner, 16), rounds=1, iterations=1
+    )
+    save_result("fig3_16core", result.render())
+
+    adapt = result.mean_gain_percent("adapt_bp32")
+    lru = result.mean_gain_percent("lru")
+    eaf = result.mean_gain_percent("eaf")
+    # Shape assertions from the paper's Figure 3.
+    assert adapt > 0.5, f"ADAPT_bp32 should beat TA-DRRIP on average, got {adapt:+.2f}%"
+    assert lru < adapt, "LRU must trail ADAPT"
+    assert lru < 1.0, "LRU should not beat the baseline meaningfully"
+    assert eaf > 0.0, "EAF should improve on TA-DRRIP"
+    assert result.mean_gain_percent("adapt_ins") <= adapt + 0.5, (
+        "bypassing (bp32) should not lose to pure insertion"
+    )

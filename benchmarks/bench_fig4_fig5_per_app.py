@@ -1,0 +1,34 @@
+"""Figures 4 and 5: per-application MPKI reduction and IPC speed-up.
+
+Paper: averaged over the 16-core workloads, thrashing applications show
+little MPKI movement under ADAPT (bypass barely hurts them; cactusADM is
+the exception) while non-thrashing applications see large MPKI reductions
+and IPC gains.
+"""
+
+from repro.experiments.perapp import run_perapp
+from repro.trace.benchmarks import BENCHMARKS
+
+
+def test_fig4_fig5_per_app(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: run_perapp(runner, 16), rounds=1, iterations=1)
+    save_result(
+        "fig4_fig5_per_app",
+        result.render(thrashing=True) + "\n\n" + result.render(thrashing=False),
+    )
+
+    adapt_red = result.mpki_reduction["adapt_bp32"]
+    adapt_ipc = result.ipc_speedup["adapt_bp32"]
+
+    friendly = [a for a in adapt_red if not BENCHMARKS[a].thrashing]
+    thrashing = [a for a in adapt_red if BENCHMARKS[a].thrashing]
+    assert friendly and thrashing
+
+    # Fig. 5 shape: a meaningful set of friendly apps gains MPKI under ADAPT.
+    gains = [adapt_red[a] for a in friendly]
+    assert max(gains) > 5.0, f"expected a clear friendly-app MPKI win, got {max(gains):.1f}%"
+
+    # Fig. 4 shape: bypassing must not slow thrashing apps down much
+    # (paper: no slow-down except cactusADM).
+    slowed = [a for a in thrashing if adapt_ipc.get(a, 1.0) < 0.95 and a != "cact"]
+    assert not slowed, f"thrashing apps slowed by bypassing: {slowed}"

@@ -1,0 +1,23 @@
+"""Figure 6: converting distant insertions to bypasses, per policy.
+
+Paper: bypassing improves TA-DRRIP (it effectively learns BRRIP with
+bypass for thrashing applications) and EAF (93% of its insertions are
+distant), marginally hurts SHiP (its rare distant predictions are ~69%
+wrong), and gives ADAPT its final margin.
+"""
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_bypass_impact(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: run_fig6(runner), rounds=1, iterations=1)
+    save_result("fig6_bypass", result.render())
+
+    tad_ins, tad_byp = result.bars["TA-DRRIP"]
+    eaf_ins, eaf_byp = result.bars["EAF"]
+    adapt_ins, adapt_byp = result.bars["ADAPT"]
+
+    assert tad_byp >= tad_ins - 0.002, "bypass should help (or not hurt) TA-DRRIP"
+    assert eaf_byp >= eaf_ins - 0.002, "bypass should help (or not hurt) EAF"
+    assert adapt_byp >= adapt_ins - 0.002, "ADAPT_bp32 should not lose to ADAPT_ins"
+    assert adapt_byp > 1.0, "ADAPT with bypass must beat the TA-DRRIP baseline"

@@ -1,0 +1,24 @@
+"""Figure 7 / Section 5.5: larger, higher-associativity caches.
+
+Paper: growing the LLC from 16 to 24 and 32 ways (24MB/32MB) leaves
+ADAPT's advantage intact for 16/20/24-core workloads, even though the
+priority thresholds were fixed for a 16-way budget.
+"""
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_larger_caches(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig7(runner, core_counts=(16, 20), way_factors=(1.5, 2.0)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig7_large_caches", result.render())
+
+    # Shape: ADAPT keeps a non-negative edge at higher associativity.
+    for (cache, cores), gain in result.gains.items():
+        assert gain > -1.0, f"ADAPT collapsed on {cache} {cores}-core: {gain:+.2f}%"
+    assert any(g > 0.5 for g in result.gains.values()), (
+        "ADAPT should keep a clear edge on at least one larger-cache point"
+    )

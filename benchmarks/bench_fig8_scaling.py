@@ -1,0 +1,23 @@
+"""Figure 8: scalability with the number of applications.
+
+Paper: ADAPT outperforms the prior policies at every core count — average
+gains of ~4.8% (4-core), ~3.5% (8-core), ~5.8% (20-core), ~5.9% (24-core)
+— with the gains *growing* once the core count exceeds the associativity.
+"""
+
+import pytest
+
+from repro.experiments.scurves import run_scurve
+
+
+@pytest.mark.parametrize("cores", [4, 8, 20, 24])
+def test_fig8_scaling(benchmark, runner, save_result, cores):
+    result = benchmark.pedantic(
+        lambda: run_scurve(runner, cores), rounds=1, iterations=1
+    )
+    save_result(f"fig8_{cores}core", result.render())
+
+    adapt = result.mean_gain_percent("adapt_bp32")
+    lru = result.mean_gain_percent("lru")
+    assert adapt > lru, f"{cores}-core: ADAPT must beat LRU"
+    assert adapt > -0.5, f"{cores}-core: ADAPT should not lose to TA-DRRIP ({adapt:+.2f}%)"

@@ -1,0 +1,67 @@
+"""Component micro-benchmarks (real pytest-benchmark timing runs).
+
+Not a paper artifact: these track the simulator's own hot paths — the LLC
+access loop under each policy family, the footprint sampler, and the
+multi-core engine — so performance regressions in the substrate are
+visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.footprint import FootprintSampler
+from repro.cpu.engine import MulticoreEngine
+from repro.policies.registry import make_policy
+from repro.sim.build import build_hierarchy, build_sources
+from repro.sim.config import SystemConfig
+from repro.trace.workloads import design_suite
+
+N_ACCESSES = 20_000
+
+
+def _drive_cache(policy_name: str) -> int:
+    cache = SetAssociativeCache("llc", 256, 16, make_policy(policy_name), num_cores=4)
+    rng = np.random.default_rng(7)
+    addrs = rng.integers(0, 1 << 14, size=N_ACCESSES).tolist()
+    cores = rng.integers(0, 4, size=N_ACCESSES).tolist()
+    access = cache.access
+    for addr, core in zip(addrs, cores):
+        access(core, addr, addr & 0xFF)
+    return cache.stats.misses()
+
+
+@pytest.mark.parametrize("policy", ["lru", "srrip", "tadrrip", "ship", "eaf", "adapt_bp32"])
+def test_llc_access_throughput(benchmark, policy):
+    misses = benchmark.pedantic(_drive_cache, args=(policy,), rounds=3, iterations=1)
+    assert misses > 0
+
+
+def test_footprint_sampler_throughput(benchmark):
+    sampler = FootprintSampler(llc_num_sets=256, num_monitor_sets=40)
+    monitored = sampler.monitored_sets
+    rng = np.random.default_rng(3)
+    sets = rng.choice(monitored, size=N_ACCESSES).tolist()
+    addrs = rng.integers(0, 1 << 20, size=N_ACCESSES).tolist()
+
+    def drive():
+        for s, a in zip(sets, addrs):
+            sampler.observe(s, a)
+        return sampler.footprint_number()
+
+    value = benchmark.pedantic(drive, rounds=3, iterations=1)
+    assert value > 0
+
+
+def test_engine_throughput(benchmark):
+    config = SystemConfig.scaled(4)
+    workload = design_suite(4, 1)[0]
+
+    def drive():
+        hierarchy = build_hierarchy(config, "adapt_bp32")
+        sources = build_sources(workload, config)
+        engine = MulticoreEngine(hierarchy, sources, quota_per_core=4000)
+        return engine.run()
+
+    snapshots = benchmark.pedantic(drive, rounds=2, iterations=1)
+    assert all(s.instructions > 0 for s in snapshots)

@@ -1,0 +1,21 @@
+"""Table 2: hardware storage cost of each policy at 24 applications.
+
+Recomputed from the cost model and checked against the paper's stated
+values: TA-DRRIP 48B, EAF-RRIP 256KB, SHiP ~65.9KB, ADAPT ~24KB.
+"""
+
+from repro.core.hwcost import adapt_cost, eaf_cost, ship_cost, tadrrip_cost
+from repro.experiments.tables import render_table2
+
+
+def test_table2_hwcost(benchmark, save_result):
+    text = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    save_result("table2_hwcost", text)
+
+    assert tadrrip_cost(24).bytes == 48
+    assert eaf_cost(256 * 1024).kilobytes == 256
+    assert abs(ship_cost(256 * 1024, sampled_line_fraction=0.125).kilobytes - 65.875) < 0.5
+    adapt = adapt_cost(24)
+    # Section 3.3: 8200 bits (~1KB) per application, ~24KB at N=24.
+    assert adapt.bits == 8200 * 24
+    assert 23.5 < adapt.kilobytes < 24.5

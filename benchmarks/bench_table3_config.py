@@ -1,0 +1,20 @@
+"""Table 3: the simulated platform, paper values beside the scaled run."""
+
+from repro.experiments.tables import render_table3
+from repro.sim.config import SystemConfig
+
+
+def test_table3_configuration(benchmark, runner, save_result):
+    text = benchmark.pedantic(
+        lambda: render_table3(runner.config), rounds=1, iterations=1
+    )
+    save_result("table3_config", text)
+
+    paper = SystemConfig.paper(16)
+    assert paper.llc.capacity_bytes() == 16 * 1024 * 1024
+    assert paper.llc.ways == 16
+    assert paper.effective_interval == 1_000_000
+    # The scaled config preserves the pivotal ratios.
+    scaled = runner.config
+    assert scaled.llc.ways == 16
+    assert scaled.effective_interval % scaled.llc.num_blocks == 0

@@ -1,0 +1,17 @@
+"""Table 6: the workload suites and their composition constraints."""
+
+from repro.experiments.tables import render_table6
+from repro.trace.workloads import TABLE6, design_suite, validate_workload
+
+
+def test_table6_workload_design(benchmark, save_result):
+    text = benchmark.pedantic(render_table6, rounds=1, iterations=1)
+    save_result("table6_workloads", text)
+
+    # Regenerate every suite at the paper's full counts and validate the
+    # composition rule of each workload.
+    for cores, spec in TABLE6.items():
+        suite = design_suite(cores)
+        assert len(suite) == spec.num_workloads
+        for workload in suite:
+            validate_workload(workload)

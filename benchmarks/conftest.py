@@ -1,0 +1,39 @@
+"""Shared session state for the paper-figure benches.
+
+A single session-scoped :class:`~repro.experiments.common.Runner` memoises
+every workload run and IPC_alone baseline, so e.g. the Figure 4/5 bench
+reuses the Figure 3 bench's TA-DRRIP runs instead of re-simulating them.
+
+Each bench writes its rendered paper-style rows to
+``benchmarks/results/<name>.txt`` (and stdout), so the regenerated tables
+and series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings, Runner
+from repro.sim.config import SystemConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(SystemConfig.scaled(16), ExperimentSettings.from_env())
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write a bench's rendered output to results/<name>.txt and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Policy shoot-out: every LLC policy on the same 16-core workload.
+
+Runs the full policy zoo — the DIP lineage, the RRIP family, SHiP, EAF
+and both ADAPT variants — on one Table 6 workload and ranks them by
+weighted speed-up, with per-policy LLC statistics.  A miniature of the
+paper's Figure 3 comparison that also exercises the bypass wrapper.
+
+Usage:  python examples/policy_shootout.py [--quick]
+"""
+
+import sys
+
+from repro import AloneCache, SystemConfig, design_suite, run_workload, weighted_speedup
+
+POLICIES = (
+    "lru", "lip", "bip", "dip", "random",
+    "srrip", "brrip", "drrip", "tadrrip", "tadrrip+bp",
+    "ship", "eaf", "eaf+bp",
+    "adapt_ins", "adapt_bp32",
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    quota, warmup = (4_000, 1_500) if quick else (12_000, 5_000)
+
+    config = SystemConfig.scaled(num_cores=16)
+    workload = design_suite(16, num_workloads=2)[1]
+    print(f"workload {workload.name}: {', '.join(workload.benchmarks)}\n")
+
+    alone = AloneCache(config, quota=quota, warmup=warmup)
+    alone_ipcs = alone.ipcs(workload.benchmarks)
+
+    rows = []
+    for policy in POLICIES:
+        result = run_workload(workload, config, policy, quota=quota, warmup=warmup)
+        ws = weighted_speedup(result.ipcs, alone_ipcs)
+        total_mpki = sum(result.llc_mpkis)
+        rows.append((ws, policy, total_mpki, result.policy_state))
+
+    baseline = next(ws for ws, p, *_ in rows if p == "tadrrip")
+    print(f"{'policy':<12}{'WS':>8}{'vs TA-DRRIP':>13}{'sum MPKI':>10}  state")
+    for ws, policy, mpki, state in sorted(rows, reverse=True):
+        print(f"{policy:<12}{ws:>8.3f}{ws / baseline:>12.3f}x{mpki:>10.1f}  {state[:40]}")
+
+
+if __name__ == "__main__":
+    main()

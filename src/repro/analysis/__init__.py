@@ -1,0 +1,12 @@
+"""Analysis helpers: Table 5 classification, occupancy profiling."""
+
+from repro.analysis.classification import ClassifiedBenchmark, classify, is_thrashing
+from repro.analysis.occupancy import OccupancyProfile, measure_occupancy
+
+__all__ = [
+    "ClassifiedBenchmark",
+    "classify",
+    "is_thrashing",
+    "OccupancyProfile",
+    "measure_occupancy",
+]

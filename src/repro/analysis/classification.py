@@ -1,0 +1,64 @@
+"""The empirical memory-intensity classifier of Table 5.
+
+============  ===========  ==================
+FP-num        L2 MPKI      Memory intensity
+============  ===========  ==================
+< 16          < 1          Very Low (VL)
+< 16          [1, 5)       Low (L)
+< 16          > 5          Medium (M)
+>= 16         < 5          Medium (M)
+>= 16         [5, 25)      High (H)
+>= 16         > 25         Very High (VH)
+============  ===========  ==================
+
+(The table's open boundaries leave the exact values 5 and 25 ambiguous; we
+treat the intervals as half-open, [1,5) and [5,25), which reproduces every
+row of Table 4.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def classify(footprint_number: float, l2_mpki: float) -> str:
+    """Table 5: map (Footprint-number, L2-MPKI) to a class label."""
+    if footprint_number < 16:
+        if l2_mpki < 1:
+            return "VL"
+        if l2_mpki < 5:
+            return "L"
+        return "M"
+    if l2_mpki < 5:
+        return "M"
+    if l2_mpki < 25:
+        return "H"
+    return "VH"
+
+
+def is_thrashing(footprint_number: float) -> bool:
+    """The paper's thrashing criterion: Footprint-number >= associativity."""
+    return footprint_number >= 16
+
+
+@dataclass(frozen=True)
+class ClassifiedBenchmark:
+    """One Table 4 row, as measured by the reproduction."""
+
+    name: str
+    fpn_all: float
+    fpn_sampled: float
+    l2_mpki: float
+    measured_class: str
+    paper_class: str
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.measured_class == self.paper_class
+
+    def render(self) -> str:
+        mark = "" if self.matches_paper else "  <- paper: " + self.paper_class
+        return (
+            f"{self.name:<7} Fpn(A)={self.fpn_all:6.2f} Fpn(S)={self.fpn_sampled:6.2f} "
+            f"L2-MPKI={self.l2_mpki:6.2f}  {self.measured_class:<2}{mark}"
+        )

@@ -1,0 +1,28 @@
+"""Cache substrate: set-associative caches, MSHRs, banks, and the hierarchy.
+
+This package implements the memory-side hardware the paper's evaluation
+platform provides: per-core L1/L2, a shared banked LLC with a pluggable
+replacement policy (see :mod:`repro.policies`), write-back buffers, MSHRs
+and the three-level :class:`~repro.cache.hierarchy.CacheHierarchy` that
+routes accesses, fills and write-backs between them.
+"""
+
+from repro.cache.banks import BankedLatencyModel
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.cache.hierarchy import AccessOutcome, CacheHierarchy
+from repro.cache.mshr import Mshr
+from repro.cache.prefetch import StridePrefetcher
+from repro.cache.stats import CacheStats
+from repro.cache.writeback import WriteBackBuffer
+
+__all__ = [
+    "AccessResult",
+    "AccessOutcome",
+    "BankedLatencyModel",
+    "CacheHierarchy",
+    "CacheStats",
+    "Mshr",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+    "WriteBackBuffer",
+]

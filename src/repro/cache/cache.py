@@ -1,0 +1,204 @@
+"""Set-associative write-back cache with pluggable replacement policy.
+
+The cache stores *architectural* line state (block address, dirty bit,
+owner core, reused bit); all replacement state lives in the policy (see
+:mod:`repro.policies.base`).  Allocation happens at access time, the usual
+convention for trace-driven cache simulators: a miss immediately installs
+the line (unless the policy bypasses) and reports the victim so the caller
+can issue the write-back.
+
+Performance note (profiled, per the HPC guides: measure first): at
+associativity 16 a C-level ``list.index`` scan beats NumPy fancy indexing
+per access by ~4x, so the hot path is plain Python lists.
+"""
+
+from __future__ import annotations
+
+from repro.cache.stats import CacheStats
+from repro.policies.base import BYPASS, ReplacementPolicy
+from repro.util.bitops import ilog2
+
+
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the lookup hit.
+    bypassed:
+        True when the policy declined to allocate on a miss.
+    victim_addr:
+        Block address of the evicted line, or ``-1`` when no valid line was
+        displaced (hit, bypass, or fill into an invalid way).
+    victim_dirty:
+        Whether the evicted line was dirty (caller must write it back).
+    """
+
+    __slots__ = ("hit", "bypassed", "victim_addr", "victim_dirty")
+
+    def __init__(self, hit: bool, bypassed: bool, victim_addr: int, victim_dirty: bool):
+        self.hit = hit
+        self.bypassed = bypassed
+        self.victim_addr = victim_addr
+        self.victim_dirty = victim_dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccessResult(hit={self.hit}, bypassed={self.bypassed}, "
+            f"victim_addr={self.victim_addr}, victim_dirty={self.victim_dirty})"
+        )
+
+
+#: Reusable results for the two state-free outcomes (hot-path allocation
+#: avoidance; these instances are immutable by convention).
+_HIT = AccessResult(True, False, -1, False)
+_BYPASS = AccessResult(False, True, -1, False)
+
+
+class SetAssociativeCache:
+    """A single cache level shared by ``num_cores`` cores."""
+
+    def __init__(
+        self,
+        name: str,
+        num_sets: int,
+        ways: int,
+        policy: ReplacementPolicy,
+        num_cores: int = 1,
+    ) -> None:
+        ilog2(num_sets)  # validate power-of-two geometry
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        self.name = name
+        self.num_sets = num_sets
+        self.ways = ways
+        self.set_mask = num_sets - 1
+        self.num_cores = num_cores
+        self.policy = policy
+        policy.bind(num_sets, ways, num_cores)
+        self.addrs: list[list[int]] = [[-1] * ways for _ in range(num_sets)]
+        self.dirty: list[list[bool]] = [[False] * ways for _ in range(num_sets)]
+        self.owner: list[list[int]] = [[0] * ways for _ in range(num_sets)]
+        self.reused: list[list[bool]] = [[False] * ways for _ in range(num_sets)]
+        self.occupancy = [0] * num_cores
+        self.stats = CacheStats(num_cores)
+
+    # -- capacity helpers ----------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.num_sets * self.ways
+
+    def capacity_bytes(self, block_size: int = 64) -> int:
+        return self.num_blocks * block_size
+
+    def set_index(self, block_addr: int) -> int:
+        return block_addr & self.set_mask
+
+    # -- non-mutating probe ---------------------------------------------------
+
+    def probe(self, block_addr: int) -> bool:
+        """True when *block_addr* is currently resident (no state change)."""
+        return block_addr in self.addrs[block_addr & self.set_mask]
+
+    def resident_blocks(self, set_idx: int) -> list[int]:
+        """Valid block addresses in one set (testing/analysis helper)."""
+        return [a for a in self.addrs[set_idx] if a != -1]
+
+    # -- the access path -------------------------------------------------------
+
+    def access(
+        self,
+        core_id: int,
+        block_addr: int,
+        pc: int = 0,
+        is_write: bool = False,
+        is_demand: bool = True,
+    ) -> AccessResult:
+        """Perform one access; allocate on miss unless the policy bypasses."""
+        s = block_addr & self.set_mask
+        row = self.addrs[s]
+        stats = self.stats
+        try:
+            way = row.index(block_addr)
+        except ValueError:
+            way = -1
+
+        if is_write and not is_demand:
+            stats.writeback_arrivals[core_id] += 1
+
+        if way >= 0:
+            if is_demand:
+                stats.demand_hits[core_id] += 1
+                self.reused[s][way] = True
+            else:
+                stats.other_hits[core_id] += 1
+            if is_write:
+                self.dirty[s][way] = True
+            self.policy.on_hit(s, way, core_id, is_demand, block_addr)
+            return _HIT
+
+        # Miss path.
+        if is_demand:
+            stats.demand_misses[core_id] += 1
+        else:
+            stats.other_misses[core_id] += 1
+        policy = self.policy
+        policy.on_miss(s, core_id, is_demand)
+        decision = policy.decide_insertion(s, core_id, pc, block_addr, is_demand)
+        if decision is BYPASS:
+            stats.bypasses[core_id] += 1
+            return _BYPASS
+
+        victim_addr = -1
+        victim_dirty = False
+        try:
+            way = row.index(-1)
+        except ValueError:
+            way = policy.victim(s, core_id)
+            victim_addr = row[way]
+            victim_dirty = self.dirty[s][way]
+            victim_owner = self.owner[s][way]
+            policy.on_evict(s, way, victim_owner, victim_addr, self.reused[s][way])
+            stats.evictions[victim_owner] += 1
+            if victim_dirty:
+                stats.dirty_evictions[victim_owner] += 1
+            self.occupancy[victim_owner] -= 1
+
+        row[way] = block_addr
+        self.dirty[s][way] = is_write
+        self.owner[s][way] = core_id
+        self.reused[s][way] = False
+        self.occupancy[core_id] += 1
+        stats.fills[core_id] += 1
+        policy.on_fill(s, way, decision, core_id, pc, block_addr, is_demand)
+        return AccessResult(False, False, victim_addr, victim_dirty)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def invalidate(self, block_addr: int) -> bool:
+        """Drop *block_addr* if resident; returns whether it was present.
+
+        No write-back is performed — callers that care about dirty data
+        must probe first.  Used by tests and by flush-style experiments.
+        """
+        s = block_addr & self.set_mask
+        row = self.addrs[s]
+        try:
+            way = row.index(block_addr)
+        except ValueError:
+            return False
+        owner = self.owner[s][way]
+        self.policy.on_evict(s, way, owner, block_addr, self.reused[s][way])
+        self.occupancy[owner] -= 1
+        row[way] = -1
+        self.dirty[s][way] = False
+        self.reused[s][way] = False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SetAssociativeCache {self.name}: {self.num_sets}x{self.ways} "
+            f"policy={self.policy.describe()}>"
+        )

@@ -1,0 +1,218 @@
+"""Three-level non-inclusive write-back cache hierarchy.
+
+Mirrors the baseline of Table 3: per-core L1D (with optional next-line
+prefetch), per-core unified L2 (DRRIP in the paper), and a shared, banked
+LLC running the policy under study, backed by the row-hit/row-conflict
+DRAM model.  A VPC arbiter schedules L2 miss requests into the LLC and
+write-back buffers shape eviction traffic.
+
+Content operations (lookups, allocations, evictions) are exact; timing is
+behavioural: each access returns the number of cycles until its data is
+available, including bank conflicts, arbiter throttling and DRAM row
+state.  Write-backs are fire-and-forget for the core but occupy banks and
+write-back-buffer slots, so heavy eviction traffic degrades co-runners.
+
+Allocation happens at access time (the standard trace-simulator
+convention), so a "fill" is implicit in the miss path of each level and
+the returned victim is written back immediately.
+"""
+
+from __future__ import annotations
+
+from repro.cache.banks import BankedLatencyModel
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.mshr import Mshr
+from repro.cache.prefetch import StridePrefetcher
+from repro.cache.writeback import WriteBackBuffer
+from repro.mem.arbiter import VpcArbiter
+from repro.mem.dram import DramModel
+
+
+class AccessOutcome:
+    """Timing and classification of one core memory access."""
+
+    __slots__ = ("latency", "l1_hit", "l2_hit", "llc_hit", "llc_demand_miss")
+
+    def __init__(
+        self,
+        latency: float,
+        l1_hit: bool,
+        l2_hit: bool,
+        llc_hit: bool,
+        llc_demand_miss: bool,
+    ) -> None:
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.l2_hit = l2_hit
+        self.llc_hit = llc_hit
+        self.llc_demand_miss = llc_demand_miss
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 plus shared LLC and DRAM, with behavioural timing."""
+
+    def __init__(
+        self,
+        l1s: list[SetAssociativeCache],
+        l2s: list[SetAssociativeCache],
+        llc: SetAssociativeCache,
+        llc_banks: BankedLatencyModel,
+        dram: DramModel,
+        arbiter: VpcArbiter,
+        *,
+        l1_latency: float = 3.0,
+        l2_latency: float = 14.0,
+        llc_mshr: Mshr | None = None,
+        l2_wb_buffers: list[WriteBackBuffer] | None = None,
+        llc_wb_buffer: WriteBackBuffer | None = None,
+        l1_next_line_prefetch: bool = False,
+        l2_prefetchers: list[StridePrefetcher] | None = None,
+    ) -> None:
+        if len(l1s) != len(l2s):
+            raise ValueError("need one L1 and one L2 per core")
+        self.num_cores = len(l1s)
+        self.l1s = l1s
+        self.l2s = l2s
+        self.llc = llc
+        self.llc_banks = llc_banks
+        self.dram = dram
+        self.arbiter = arbiter
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.llc_mshr = llc_mshr
+        self.l2_wb_buffers = l2_wb_buffers
+        self.llc_wb_buffer = llc_wb_buffer
+        self.l1_next_line_prefetch = l1_next_line_prefetch
+        self.l2_prefetchers = l2_prefetchers
+        self.prefetches_issued = 0
+
+    # -- write-back helpers ---------------------------------------------------
+
+    def _writeback_to_dram(self, block_addr: int, now: float) -> None:
+        start = now
+        if self.llc_wb_buffer is not None:
+            start = self.llc_wb_buffer.admit(now)
+        self.dram.write(block_addr, start)
+
+    def _writeback_to_llc(self, core_id: int, block_addr: int, now: float) -> None:
+        """A dirty L2 victim arrives at the LLC (non-demand write)."""
+        start = now
+        if self.l2_wb_buffers is not None:
+            start = self.l2_wb_buffers[core_id].admit(now)
+        result = self.llc.access(core_id, block_addr, 0, True, False)
+        self.llc_banks.access(block_addr, start)
+        if result.bypassed:
+            # The policy refused allocation; the dirty data must still land
+            # somewhere, so it streams through to memory.
+            self._writeback_to_dram(block_addr, start)
+        elif result.victim_dirty:
+            self._writeback_to_dram(result.victim_addr, start)
+
+    def _writeback_to_l2(self, core_id: int, block_addr: int, now: float) -> None:
+        """A dirty L1 victim arrives at the private L2."""
+        result = self.l2s[core_id].access(0, block_addr, 0, True, False)
+        if result.victim_dirty:
+            self._writeback_to_llc(core_id, result.victim_addr, now)
+        elif result.bypassed:  # pragma: no cover - L2 policies never bypass
+            self._writeback_to_llc(core_id, block_addr, now)
+
+    # -- fetch path -------------------------------------------------------------
+
+    def _fetch_below_l1(
+        self, core_id: int, block_addr: int, pc: int, now: float, is_demand: bool
+    ) -> tuple[float, bool, bool, bool]:
+        """L2 and below; returns (completion_time, l2_hit, llc_hit, llc_demand_miss)."""
+        t_l2 = now + self.l1_latency
+        r2 = self.l2s[core_id].access(0, block_addr, pc, False, is_demand)
+        if r2.hit:
+            return t_l2 + self.l2_latency, True, False, False
+        if r2.victim_dirty:
+            self._writeback_to_llc(core_id, r2.victim_addr, t_l2)
+
+        if is_demand and self.l2_prefetchers is not None:
+            # The paper's future-work configuration: a stride prefetcher
+            # trains on L2 demand misses and fills the private L2 with
+            # non-demand traffic (which neither promotes LLC recency nor
+            # trains ADAPT's monitor — footnote 4 semantics).
+            for pf_addr in self.l2_prefetchers[core_id].train(pc, block_addr):
+                if pf_addr >= 0 and not self.l2s[core_id].probe(pf_addr):
+                    self.prefetches_issued += 1
+                    self._fetch_below_l1(core_id, pf_addr, pc, now, False)
+
+        # L2 miss: request travels through the VPC arbiter to an LLC bank.
+        t_req = self.arbiter.admit(core_id, t_l2 + self.l2_latency)
+        r3 = self.llc.access(core_id, block_addr, pc, False, is_demand)
+        t_bank = self.llc_banks.access(block_addr, t_req)
+        if r3.hit:
+            return t_bank, False, True, False
+        if r3.victim_dirty:
+            self._writeback_to_dram(r3.victim_addr, t_bank)
+
+        # LLC miss: fill from DRAM (whether or not the line was allocated —
+        # a bypassed fill still goes up to the private L2).
+        t_dram = t_bank
+        if self.llc_mshr is not None:
+            merged = self.llc_mshr.lookup(block_addr, t_bank)
+            if merged is not None:
+                return merged, False, False, is_demand
+            t_dram = self.llc_mshr.reserve(block_addr, t_bank)
+        done = self.dram.read(block_addr, t_dram)
+        if self.llc_mshr is not None:
+            self.llc_mshr.complete_at(block_addr, done)
+        return done, False, False, is_demand
+
+    def access(
+        self, core_id: int, block_addr: int, pc: int, is_write: bool, now: float
+    ) -> AccessOutcome:
+        """One demand access from *core_id*; returns its timing outcome."""
+        r1 = self.l1s[core_id].access(0, block_addr, pc, is_write, True)
+        if r1.hit:
+            return AccessOutcome(self.l1_latency, True, False, False, False)
+        if r1.victim_dirty:
+            self._writeback_to_l2(core_id, r1.victim_addr, now)
+
+        done, l2_hit, llc_hit, llc_demand_miss = self._fetch_below_l1(
+            core_id, block_addr, pc, now, True
+        )
+
+        if self.l1_next_line_prefetch:
+            self._prefetch_next_line(core_id, block_addr + 1, pc, now)
+
+        return AccessOutcome(done - now, False, l2_hit, llc_hit, llc_demand_miss)
+
+    def _prefetch_next_line(
+        self, core_id: int, block_addr: int, pc: int, now: float
+    ) -> None:
+        """Next-line prefetch into L1 (Table 3); non-demand all the way down.
+
+        Prefetches never stall the core; they do consume bank and DRAM time
+        and, per the paper's footnote 4, do not update replacement recency.
+        """
+        l1 = self.l1s[core_id]
+        if l1.probe(block_addr):
+            return
+        self.prefetches_issued += 1
+        r1 = l1.access(0, block_addr, pc, False, False)
+        if r1.victim_dirty:
+            self._writeback_to_l2(core_id, r1.victim_addr, now)
+        self._fetch_below_l1(core_id, block_addr, pc, now, False)
+
+    # -- stats plumbing -----------------------------------------------------------
+
+    def llc_demand_misses(self, core_id: int) -> int:
+        return self.llc.stats.demand_misses[core_id]
+
+    def total_llc_demand_misses(self) -> int:
+        return sum(self.llc.stats.demand_misses)
+
+    def l2_demand_misses(self, core_id: int) -> int:
+        return self.l2s[core_id].stats.demand_misses[0]
+
+    def describe(self) -> str:
+        l1 = self.l1s[0]
+        l2 = self.l2s[0]
+        return (
+            f"{self.num_cores} cores | L1 {l1.num_sets}x{l1.ways} | "
+            f"L2 {l2.num_sets}x{l2.ways} | LLC {self.llc.num_sets}x{self.llc.ways} "
+            f"({self.llc.policy.describe()})"
+        )

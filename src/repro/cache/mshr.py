@@ -1,0 +1,82 @@
+"""Miss Status Holding Register (MSHR) capacity model.
+
+The baseline system (Table 3) gives the L2 a 32-entry MSHR and the LLC a
+256-entry MSHR.  In this behavioural simulator an MSHR does two things:
+
+* it *merges* concurrent misses to the same block (secondary misses do not
+  issue a second fill request), and
+* it *back-pressures* when full: a new miss cannot start until the oldest
+  outstanding one completes.
+
+Both are modelled against simulated time: callers reserve an entry with the
+current time and the expected completion time; ``reserve`` returns the
+(possibly delayed) start time.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class Mshr:
+    """Bounded set of outstanding misses, indexed by block address."""
+
+    __slots__ = ("entries", "_completions", "_by_block", "merged", "stalls")
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("MSHR needs at least one entry")
+        self.entries = entries
+        self._completions: list[float] = []  # min-heap of completion times
+        self._by_block: dict[int, float] = {}  # block -> completion time
+        self.merged = 0
+        self.stalls = 0
+
+    def outstanding(self, now: float) -> int:
+        """Number of misses still in flight at time *now*."""
+        self._expire(now)
+        return len(self._completions)
+
+    def _expire(self, now: float) -> None:
+        heap = self._completions
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if not heap:
+            self._by_block.clear()
+        elif len(self._by_block) > 2 * len(heap):
+            horizon = now
+            self._by_block = {
+                blk: t for blk, t in self._by_block.items() if t > horizon
+            }
+
+    def lookup(self, block_addr: int, now: float) -> float | None:
+        """Completion time of an in-flight miss to *block_addr*, if any.
+
+        A hit here is a *secondary* miss: the request merges into the
+        existing entry and completes when the primary fill returns.
+        """
+        done = self._by_block.get(block_addr)
+        if done is not None and done > now:
+            self.merged += 1
+            return done
+        return None
+
+    def reserve(self, block_addr: int, now: float) -> float:
+        """Reserve an entry for a new (primary) miss.
+
+        Returns the time the miss may actually start: *now* if an entry is
+        free, otherwise the completion time of the oldest outstanding miss
+        (the structural stall the paper's fixed-size MSHRs impose).
+        """
+        self._expire(now)
+        start = now
+        if len(self._completions) >= self.entries:
+            start = self._completions[0]
+            self.stalls += 1
+            self._expire(start)
+        return start
+
+    def complete_at(self, block_addr: int, completion: float) -> None:
+        """Record that the miss reserved for *block_addr* finishes then."""
+        heapq.heappush(self._completions, completion)
+        self._by_block[block_addr] = completion

@@ -1,0 +1,81 @@
+"""PC-indexed stride prefetcher for the private L2 (the paper's future work).
+
+Section 7: "commercial processors typically employ mid-level cache (L2)
+prefetching.  We intend to study large multi-core shared caches with L2
+prefetching in the future."  This module provides that study's hardware: a
+classic reference-prediction-table stride prefetcher (Chen & Baer style).
+
+Each table entry tracks, per load PC: the last block address, the last
+observed stride, and a 2-bit confidence counter.  A miss whose stride
+matches the recorded one builds confidence; at or above the threshold the
+prefetcher emits ``degree`` prefetch addresses down the predicted stream.
+
+Prefetches issued from here are *non-demand* accesses end to end: they do
+not update replacement recency at the shared LLC (paper footnote 4), they
+are not sampled by ADAPT's Footprint-number monitor, and they never stall
+the requesting core.
+"""
+
+from __future__ import annotations
+
+
+class StrideEntry:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self, addr: int) -> None:
+        self.last_addr = addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Reference prediction table keyed by the load PC."""
+
+    def __init__(
+        self,
+        table_entries: int = 64,
+        degree: int = 2,
+        confidence_threshold: int = 2,
+        max_confidence: int = 3,
+    ) -> None:
+        if table_entries < 1 or degree < 1:
+            raise ValueError("table_entries and degree must be positive")
+        self.table_entries = table_entries
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self.max_confidence = max_confidence
+        self._table: dict[int, StrideEntry] = {}
+        self.trained = 0
+        self.issued = 0
+
+    def train(self, pc: int, block_addr: int) -> list[int]:
+        """Observe one L2 demand miss; return prefetch addresses to issue."""
+        self.trained += 1
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                # FIFO-ish eviction: drop the oldest insertion.
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = StrideEntry(block_addr)
+            return []
+
+        stride = block_addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            if entry.confidence < self.max_confidence:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_addr = block_addr
+
+        if entry.confidence >= self.confidence_threshold and entry.stride != 0:
+            out = [
+                block_addr + entry.stride * i for i in range(1, self.degree + 1)
+            ]
+            self.issued += len(out)
+            return out
+        return []
+
+    def coverage(self) -> float:
+        """Issued prefetches per training event (diagnostic)."""
+        return self.issued / self.trained if self.trained else 0.0

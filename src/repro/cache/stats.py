@@ -1,0 +1,96 @@
+"""Per-cache, per-core access statistics.
+
+Every cache keeps one :class:`CacheStats`.  Counters are split by core and
+by demand/non-demand so the experiment harness can compute per-application
+MPKI (demand misses per kilo-instruction), bypass ratios and writeback
+traffic without re-instrumenting the simulator.
+"""
+
+from __future__ import annotations
+
+
+class CacheStats:
+    """Counter bundle for one cache shared by ``num_cores`` cores."""
+
+    __slots__ = (
+        "num_cores",
+        "demand_hits",
+        "demand_misses",
+        "other_hits",
+        "other_misses",
+        "bypasses",
+        "evictions",
+        "dirty_evictions",
+        "fills",
+        "writeback_arrivals",
+    )
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self.demand_hits = [0] * num_cores
+        self.demand_misses = [0] * num_cores
+        self.other_hits = [0] * num_cores
+        self.other_misses = [0] * num_cores
+        self.bypasses = [0] * num_cores
+        self.evictions = [0] * num_cores
+        self.dirty_evictions = [0] * num_cores
+        self.fills = [0] * num_cores
+        self.writeback_arrivals = [0] * num_cores
+
+    # -- aggregates ---------------------------------------------------------
+
+    def hits(self, core_id: int | None = None) -> int:
+        if core_id is None:
+            return sum(self.demand_hits) + sum(self.other_hits)
+        return self.demand_hits[core_id] + self.other_hits[core_id]
+
+    def misses(self, core_id: int | None = None) -> int:
+        if core_id is None:
+            return sum(self.demand_misses) + sum(self.other_misses)
+        return self.demand_misses[core_id] + self.other_misses[core_id]
+
+    def accesses(self, core_id: int | None = None) -> int:
+        return self.hits(core_id) + self.misses(core_id)
+
+    def demand_accesses(self, core_id: int | None = None) -> int:
+        if core_id is None:
+            return sum(self.demand_hits) + sum(self.demand_misses)
+        return self.demand_hits[core_id] + self.demand_misses[core_id]
+
+    def miss_rate(self, core_id: int | None = None) -> float:
+        accesses = self.demand_accesses(core_id)
+        if accesses == 0:
+            return 0.0
+        misses = (
+            sum(self.demand_misses) if core_id is None else self.demand_misses[core_id]
+        )
+        return misses / accesses
+
+    def reset(self) -> None:
+        for field in (
+            self.demand_hits,
+            self.demand_misses,
+            self.other_hits,
+            self.other_misses,
+            self.bypasses,
+            self.evictions,
+            self.dirty_evictions,
+            self.fills,
+            self.writeback_arrivals,
+        ):
+            for i in range(self.num_cores):
+                field[i] = 0
+
+    def snapshot(self) -> dict[str, list[int]]:
+        """A plain-dict copy, convenient for result records and asserts."""
+        return {
+            "demand_hits": list(self.demand_hits),
+            "demand_misses": list(self.demand_misses),
+            "other_hits": list(self.other_hits),
+            "other_misses": list(self.other_misses),
+            "bypasses": list(self.bypasses),
+            "evictions": list(self.evictions),
+            "dirty_evictions": list(self.dirty_evictions),
+            "fills": list(self.fills),
+            "writeback_arrivals": list(self.writeback_arrivals),
+        }

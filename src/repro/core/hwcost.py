@@ -1,0 +1,126 @@
+"""Hardware storage-cost accounting (Table 2 and Section 3.3).
+
+Reproduces the paper's cost arithmetic for each policy on a given LLC
+geometry, so the Table 2 bench can print paper-stated and recomputed
+figures side by side.
+
+The paper's per-application ADAPT budget (Section 3.3):
+
+* per monitored set: 16 entries x (10-bit partial tag + 2 bookkeeping bits)
+  + 8 bits of head/tail pointers + a unique counter = 204 bits,
+* 40 monitored sets -> 8160 bits,
+* plus 40 bits of registers (Footprint-number byte, priority byte, three
+  one-byte probabilistic-insertion counters),
+* total 8200 bits — "1KB (appx) per application".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Storage cost of one policy configuration."""
+
+    policy: str
+    bits: int
+    note: str
+
+    @property
+    def bytes(self) -> float:
+        return self.bits / 8
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bits / 8 / 1024
+
+    def render(self) -> str:
+        if self.kilobytes >= 1:
+            size = f"{self.kilobytes:.3f} KB"
+        else:
+            size = f"{self.bytes:.0f} B"
+        return f"{self.policy:<12} {size:>12}  {self.note}"
+
+
+def tadrrip_cost(num_apps: int, psel_bits: int = 10, extra_bits: int = 6) -> CostReport:
+    """TA-DRRIP: one PSEL (plus duel bookkeeping) per application.
+
+    The paper states 16 bits per application (48 bytes at N=24).
+    """
+    per_app = psel_bits + extra_bits
+    return CostReport(
+        "TA-DRRIP",
+        per_app * num_apps,
+        f"{per_app} bits/app x {num_apps} apps",
+    )
+
+
+def eaf_cost(llc_blocks: int, bits_per_address: int = 8) -> CostReport:
+    """EAF: a Bloom filter sized at 8 bits per tracked address.
+
+    One address tracked per cache block: 256KB for a 16MB/64B cache.
+    """
+    return CostReport(
+        "EAF-RRIP",
+        llc_blocks * bits_per_address,
+        f"{bits_per_address} bits x {llc_blocks} addresses",
+    )
+
+
+def ship_cost(
+    llc_blocks: int,
+    shct_entries: int = 16 * 1024,
+    shct_bits: int = 3,
+    sampled_line_fraction: float = 1.0,
+    signature_bits: int = 14,
+    outcome_bits: int = 1,
+) -> CostReport:
+    """SHiP-PC: the SHCT plus per-line signature and outcome storage.
+
+    The paper quotes 65.875KB ("SHCT table & PC") for the 16MB LLC.  At
+    full-line tracking the per-line term would be far larger, so the quoted
+    figure corresponds to SHiP's sampled variant: a 16K x 3-bit SHCT
+    (48KB -> 6KB) plus 15 bits (14-bit signature + outcome) on 1/8 of the
+    lines (2048 sampler sets x 16 ways = 32K lines), which lands at
+    ~66KB — matching the paper's figure to within rounding.
+    """
+    shct = shct_entries * shct_bits
+    per_line = signature_bits + outcome_bits
+    lines = int(llc_blocks * sampled_line_fraction)
+    return CostReport(
+        "SHiP",
+        shct + per_line * lines,
+        f"SHCT {shct_entries}x{shct_bits}b + {per_line}b x {lines} lines",
+    )
+
+
+def adapt_cost(
+    num_apps: int,
+    num_monitor_sets: int = 40,
+    entries: int = 16,
+    partial_tag_bits: int = 10,
+    bookkeeping_bits: int = 2,
+    head_tail_bits: int = 8,
+    counter_bits: int = 4,
+    register_bits: int = 40,
+) -> CostReport:
+    """ADAPT: per-application sampler arrays plus registers (Section 3.3)."""
+    per_set = entries * (partial_tag_bits + bookkeeping_bits) + head_tail_bits + counter_bits
+    per_app = per_set * num_monitor_sets + register_bits
+    return CostReport(
+        "ADAPT",
+        per_app * num_apps,
+        f"{per_set} bits/set x {num_monitor_sets} sets + {register_bits}b regs "
+        f"= {per_app} bits/app x {num_apps} apps",
+    )
+
+
+def table2_reports(num_apps: int = 24, llc_blocks: int = 256 * 1024) -> list[CostReport]:
+    """The four Table 2 rows for the paper's 16MB, 16-way LLC."""
+    return [
+        tadrrip_cost(num_apps),
+        eaf_cost(llc_blocks),
+        ship_cost(llc_blocks, sampled_line_fraction=0.125),
+        adapt_cost(num_apps),
+    ]

@@ -1,0 +1,103 @@
+"""Passive Footprint-number monitoring for any policy.
+
+Table 4 characterises each benchmark by its Footprint-number measured when
+run *alone* — a property of the reference stream, not of the replacement
+policy.  :class:`MonitoredPolicy` wraps an arbitrary LLC policy with
+per-application :class:`~repro.core.footprint.FootprintSampler` instances
+that observe demand accesses exactly like ADAPT's monitor does, without
+influencing any replacement decision.
+
+Used by the Table 4 experiment (with one sampler over *all* sets for the
+Fpn(A) column and one over 40 sampled sets for Fpn(S)) and available for
+workload analysis under any baseline policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.footprint import FootprintSampler
+from repro.policies.base import ReplacementPolicy
+
+
+class MonitoredPolicy(ReplacementPolicy):
+    """Delegating wrapper that taps demand accesses into samplers.
+
+    ``sampler_configs`` maps a label (e.g. ``"all"``, ``"sampled"``) to a
+    ``(num_monitor_sets, entries)`` pair; one sampler per label per core is
+    created at bind time.  Interval ends snapshot every sampler's
+    Footprint-number into ``history[label][core]``.
+    """
+
+    def __init__(
+        self,
+        inner: ReplacementPolicy,
+        sampler_configs: dict[str, tuple[int, int]] | None = None,
+        partial_tag_bits: int = 10,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = f"monitored({inner.name})"
+        self._configs = sampler_configs or {"sampled": (40, 16)}
+        self._partial_tag_bits = partial_tag_bits
+        self.samplers: dict[str, list[FootprintSampler]] = {}
+        self.history: dict[str, list[list[float]]] = {}
+
+    def bind(self, num_sets: int, ways: int, num_cores: int) -> None:
+        super().bind(num_sets, ways, num_cores)
+        self.inner.bind(num_sets, ways, num_cores)
+        for label, (monitor_sets, entries) in self._configs.items():
+            self.samplers[label] = [
+                FootprintSampler(num_sets, monitor_sets, entries, self._partial_tag_bits)
+                for _ in range(num_cores)
+            ]
+            self.history[label] = [[] for _ in range(num_cores)]
+
+    # -- taps --------------------------------------------------------------------
+
+    def _observe(self, set_idx: int, core_id: int, block_addr: int) -> None:
+        for samplers in self.samplers.values():
+            samplers[core_id].observe(set_idx, block_addr)
+
+    def on_hit(
+        self, set_idx: int, way: int, core_id: int, is_demand: bool, block_addr: int = -1
+    ) -> None:
+        if is_demand and block_addr >= 0:
+            self._observe(set_idx, core_id, block_addr)
+        self.inner.on_hit(set_idx, way, core_id, is_demand, block_addr)
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        if is_demand:
+            self._observe(set_idx, core_id, block_addr)
+        return self.inner.decide_insertion(set_idx, core_id, pc, block_addr, is_demand)
+
+    def end_interval(self) -> None:
+        for label, samplers in self.samplers.items():
+            for core_id, sampler in enumerate(samplers):
+                self.history[label][core_id].append(sampler.compute_and_reset())
+        self.inner.end_interval()
+
+    # -- pure delegation -------------------------------------------------------------
+
+    def victim(self, set_idx: int, core_id: int) -> int:
+        return self.inner.victim(set_idx, core_id)
+
+    def on_fill(self, set_idx, way, insertion, core_id, pc, block_addr, is_demand):
+        self.inner.on_fill(set_idx, way, insertion, core_id, pc, block_addr, is_demand)
+
+    def on_evict(self, set_idx, way, core_id, block_addr, was_reused) -> None:
+        self.inner.on_evict(set_idx, way, core_id, block_addr, was_reused)
+
+    def on_miss(self, set_idx: int, core_id: int, is_demand: bool) -> None:
+        self.inner.on_miss(set_idx, core_id, is_demand)
+
+    # -- results ----------------------------------------------------------------------
+
+    def mean_footprint(self, label: str, core_id: int) -> float:
+        """Average Footprint-number across completed intervals."""
+        values = self.history[label][core_id]
+        if not values:
+            # No full interval completed: report the in-flight value.
+            return self.samplers[label][core_id].footprint_number()
+        return sum(values) / len(values)
+
+    def describe(self) -> str:
+        return f"monitored({self.inner.describe()})"

@@ -1,0 +1,110 @@
+"""Footprint-number based insertion-priority prediction (Section 3.2).
+
+The predictor statically maps an application's Footprint-number into one of
+four discrete priority buckets (Table 1).  The default ranges are the ones
+the paper fixed after sweeping 36 combinations (high range [0,3] x low
+range (12,16)); both boundaries are constructor parameters so the sweep
+itself is reproducible (see ``benchmarks/bench_ablation_priority_ranges.py``).
+
+====================  =====================  ==============================
+Bucket                Footprint-number       Insertion behaviour (RRPV)
+====================  =====================  ==============================
+High (HP)             [0, high_max]          0
+Medium (MP)           (high_max, medium_max] 1, but 1/16th at 2 (LP)
+Low (LP)              (medium_max, assoc)    2, but 1/16th at 1 (MP)
+Least (LstP)          >= assoc               bypass, but 1/32nd inserted at 3
+====================  =====================  ==============================
+
+The Least bucket groups applications whose working set occupies at least
+the full associativity of a set — both "exactly fits" and "thrashes" look
+identical to a 16-entry monitor, and both are candidates for deprioritising.
+In the non-bypass variant (``ADAPT_ins``) Least-priority lines are all
+inserted at distant priority (RRPV 3) instead of being bypassed.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.policies.base import BYPASS
+from repro.util.counters import FractionTicker
+
+
+class PriorityBucket(IntEnum):
+    """Discrete application priorities, best (HIGH) to worst (LEAST)."""
+
+    HIGH = 0
+    MEDIUM = 1
+    LOW = 2
+    LEAST = 3
+
+    @property
+    def label(self) -> str:
+        return {0: "HP", 1: "MP", 2: "LP", 3: "LstP"}[int(self)]
+
+
+class InsertionPriorityPredictor:
+    """Maps Footprint-numbers to buckets and buckets to insertion RRPVs.
+
+    One instance per application: the 1/16 and 1/32 exception tickers are
+    per-application state (the paper budgets "three more counters each of
+    size one byte" per application sampler).
+    """
+
+    def __init__(
+        self,
+        associativity: int = 16,
+        high_max: float = 3.0,
+        medium_max: float = 12.0,
+        *,
+        bypass_least: bool = True,
+        medium_exception_denominator: int = 16,
+        low_exception_denominator: int = 16,
+        least_insert_denominator: int = 32,
+    ) -> None:
+        if not 0 < high_max < medium_max < associativity:
+            raise ValueError(
+                "priority ranges must satisfy 0 < high_max < medium_max < associativity"
+            )
+        self.associativity = associativity
+        self.high_max = high_max
+        self.medium_max = medium_max
+        self.bypass_least = bypass_least
+        self._medium_ticker = FractionTicker(medium_exception_denominator)
+        self._low_ticker = FractionTicker(low_exception_denominator)
+        self._least_ticker = FractionTicker(least_insert_denominator)
+
+    # -- classification -------------------------------------------------------
+
+    def classify(self, footprint_number: float) -> PriorityBucket:
+        """Table 1 bucket for a Footprint-number."""
+        if footprint_number <= self.high_max:
+            return PriorityBucket.HIGH
+        if footprint_number <= self.medium_max:
+            return PriorityBucket.MEDIUM
+        if footprint_number < self.associativity:
+            return PriorityBucket.LOW
+        return PriorityBucket.LEAST
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insertion_rrpv(self, bucket: PriorityBucket):
+        """Insertion RRPV for one fill of an application in *bucket*.
+
+        Returns an int RRPV or :data:`~repro.policies.base.BYPASS`.
+        Ticker state advances once per call, so "1 out of 16" is exact.
+        """
+        if bucket == PriorityBucket.HIGH:
+            return 0
+        if bucket == PriorityBucket.MEDIUM:
+            # Mostly 1; one in sixteen goes to low priority 2 to balance
+            # the mixed reuse behaviour the paper observes in this bucket.
+            return 2 if self._medium_ticker.tick() else 1
+        if bucket == PriorityBucket.LOW:
+            # Mostly 2; one in sixteen promoted to medium priority 1.
+            return 1 if self._low_ticker.tick() else 2
+        # LEAST: bypass 31/32 of fills (ADAPT_bp32) or insert all at
+        # distant priority (ADAPT_ins).
+        if self.bypass_least:
+            return 3 if self._least_ticker.tick() else BYPASS
+        return 3

@@ -1,0 +1,6 @@
+"""Behavioural core model and the event-driven multi-core engine."""
+
+from repro.cpu.core import CoreSnapshot, CoreState
+from repro.cpu.engine import MulticoreEngine
+
+__all__ = ["CoreSnapshot", "CoreState", "MulticoreEngine"]

@@ -1,0 +1,69 @@
+"""One module per paper table/figure, plus shared run infrastructure.
+
+========================  ============================================
+Module                    Regenerates
+========================  ============================================
+:mod:`~repro.experiments.fig1`      Figure 1 (motivation: forced BRRIP)
+:mod:`~repro.experiments.scurves`   Figures 3 and 8 (WS s-curves)
+:mod:`~repro.experiments.perapp`    Figures 4 and 5 (per-app MPKI/IPC)
+:mod:`~repro.experiments.fig6`      Figure 6 (bypassing each policy)
+:mod:`~repro.experiments.fig7`      Figure 7 (larger caches)
+:mod:`~repro.experiments.tables`    Tables 2, 3, 6 (analytic)
+:mod:`~repro.experiments.table4`    Table 4 (+ Table 5 classification)
+:mod:`~repro.experiments.table7`    Table 7 (other multi-core metrics)
+:mod:`~repro.experiments.ablation`  design-choice ablations
+========================  ============================================
+"""
+
+from repro.experiments.ablation import (
+    AblationResult,
+    run_interval_ablation,
+    run_monitor_sets_ablation,
+    run_priority_range_ablation,
+)
+from repro.experiments.common import (
+    BASELINE_POLICY,
+    FIGURE_POLICIES,
+    ExperimentSettings,
+    Runner,
+    scale_factor,
+)
+from repro.experiments.fig1 import Fig1Result, forced_tadrrip, run_fig1
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.perapp import PerAppResult, run_perapp
+from repro.experiments.scurves import ScurveResult, run_scurve
+from repro.experiments.table4 import Table4Result, characterise, run_table4
+from repro.experiments.table7 import Table7Result, run_table7
+from repro.experiments.tables import render_table2, render_table3, render_table6
+
+__all__ = [
+    "AblationResult",
+    "run_interval_ablation",
+    "run_monitor_sets_ablation",
+    "run_priority_range_ablation",
+    "BASELINE_POLICY",
+    "FIGURE_POLICIES",
+    "ExperimentSettings",
+    "Runner",
+    "scale_factor",
+    "Fig1Result",
+    "forced_tadrrip",
+    "run_fig1",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "PerAppResult",
+    "run_perapp",
+    "ScurveResult",
+    "run_scurve",
+    "Table4Result",
+    "characterise",
+    "run_table4",
+    "Table7Result",
+    "run_table7",
+    "render_table2",
+    "render_table3",
+    "render_table6",
+]

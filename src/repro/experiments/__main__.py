@@ -1,0 +1,102 @@
+"""Command-line front-end: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table2
+    python -m repro.experiments fig3 [--cores 16]
+    REPRO_SCALE=2 python -m repro.experiments fig8
+
+Simulation-backed experiments honour ``REPRO_SCALE`` exactly like the
+pytest benches do, and share one memoising runner per invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablation import (
+    run_interval_ablation,
+    run_monitor_sets_ablation,
+    run_priority_range_ablation,
+)
+from repro.experiments.common import ExperimentSettings, Runner
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.perapp import run_perapp
+from repro.experiments.scurves import run_scurve
+from repro.experiments.table4 import run_table4
+from repro.experiments.table7 import run_table7
+from repro.experiments.tables import render_table2, render_table3, render_table6
+from repro.sim.config import SystemConfig
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure from the ADAPT paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of: list, fig1, fig3, fig4, fig6, fig7, fig8, "
+        "table2, table3, table4, table6, table7, ablations",
+    )
+    parser.add_argument("--cores", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = (
+        "fig1 fig3 fig4 fig6 fig7 fig8 table2 table3 table4 table6 table7 ablations"
+    ).split()
+    if args.experiment == "list":
+        print("\n".join(names))
+        return 0
+    if args.experiment not in names:
+        parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
+
+    config = SystemConfig.scaled(args.cores)
+    settings = ExperimentSettings.from_env()
+    if args.seed:
+        settings = ExperimentSettings(
+            master_seed=args.seed, workloads=settings.workloads
+        )
+    runner = Runner(config, settings)
+
+    if args.experiment == "fig1":
+        print(run_fig1(runner, args.cores).render())
+    elif args.experiment == "fig3":
+        print(run_scurve(runner, 16).render())
+    elif args.experiment == "fig4":
+        result = run_perapp(runner, 16)
+        print(result.render(thrashing=True))
+        print()
+        print(result.render(thrashing=False))
+    elif args.experiment == "fig6":
+        print(run_fig6(runner, args.cores).render())
+    elif args.experiment == "fig7":
+        print(run_fig7(runner).render())
+    elif args.experiment == "fig8":
+        for cores in (4, 8, 20, 24):
+            print(run_scurve(runner, cores).render())
+            print()
+    elif args.experiment == "table2":
+        print(render_table2())
+    elif args.experiment == "table3":
+        print(render_table3(config))
+    elif args.experiment == "table4":
+        print(run_table4(config, settings).render())
+    elif args.experiment == "table6":
+        print(render_table6(settings.master_seed))
+    elif args.experiment == "table7":
+        print(run_table7(runner).render())
+    elif args.experiment == "ablations":
+        print(run_priority_range_ablation(runner).render())
+        print(run_interval_ablation(runner).render())
+        print(run_monitor_sets_ablation(runner).render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

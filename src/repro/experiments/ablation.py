@@ -1,0 +1,109 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Three studies the paper either performed (priority-range sweep, Section
+3.2; interval sizing, Section 3.1) or implies (monitor set count, Section
+3.1 cites set-sampling with "as few as 32 sets"):
+
+* :func:`run_priority_range_ablation` — vary the HIGH and MEDIUM bucket
+  boundaries (the paper swept 36 combinations before fixing [0,3] / (3,12]).
+* :func:`run_interval_ablation` — vary the monitoring interval as a
+  multiple of LLC blocks (the paper swept 0.25M..4M misses).
+* :func:`run_monitor_sets_ablation` — vary the number of sampled sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.adapt import AdaptPolicy
+from repro.experiments.common import Runner, geometric_mean_gain
+
+
+@dataclass
+class AblationResult:
+    name: str
+    #: setting label -> mean WS gain % over TA-DRRIP.
+    gains: dict[str, float]
+
+    def render(self) -> str:
+        lines = [f"== ablation: {self.name} =="]
+        for label, gain in self.gains.items():
+            lines.append(f"{label:<26} {gain:+6.2f}%")
+        return "\n".join(lines)
+
+
+def _adapt_for(runner: Runner, **overrides) -> AdaptPolicy:
+    config = runner.config
+    kwargs = dict(
+        bypass_least=True,
+        num_monitor_sets=config.monitor_sets,
+        monitor_entries=config.monitor_entries,
+        partial_tag_bits=config.partial_tag_bits,
+    )
+    kwargs.update(overrides)
+    return AdaptPolicy(**kwargs)
+
+
+def _mean_gain(
+    runner: Runner, cores: int, policy_factory, config=None, max_workloads: int = 3
+) -> float:
+    config = config or runner.config.with_cores(cores)
+    ratios = []
+    for workload in runner.settings.suite(cores)[:max_workloads]:
+        base = runner.weighted_speedup(workload, "tadrrip", config)
+        ratios.append(runner.weighted_speedup(workload, policy_factory(), config) / base)
+    return geometric_mean_gain(ratios)
+
+
+def run_priority_range_ablation(
+    runner: Runner,
+    cores: int = 16,
+    high_values: tuple[float, ...] = (2.0, 3.0, 5.0, 8.0),
+    medium_values: tuple[float, ...] = (10.0, 12.0, 14.0),
+) -> AblationResult:
+    """The Section 3.2 sweep: HIGH in [0,h], MEDIUM in (h,m]."""
+    gains = {}
+    for high in high_values:
+        for medium in medium_values:
+            if medium <= high:
+                continue
+            label = f"HP<={high:g}, MP<={medium:g}"
+            gains[label] = _mean_gain(
+                runner,
+                cores,
+                lambda h=high, m=medium: _adapt_for(runner, high_max=h, medium_max=m),
+            )
+    return AblationResult("priority ranges (Section 3.2 sweep)", gains)
+
+
+def run_interval_ablation(
+    runner: Runner,
+    cores: int = 16,
+    multipliers: tuple[int, ...] = (4, 8, 16, 32),
+) -> AblationResult:
+    """The Section 3.1 interval-size study, as multiples of LLC blocks."""
+    gains = {}
+    for mult in multipliers:
+        config = replace(
+            runner.config.with_cores(cores),
+            interval_blocks_multiplier=mult,
+            name=f"{runner.config.with_cores(cores).name}-int{mult}x",
+        )
+        gains[f"interval = {mult}x LLC blocks"] = _mean_gain(
+            runner, cores, lambda: _adapt_for(runner), config
+        )
+    return AblationResult("monitoring interval (Section 3.1 sweep)", gains)
+
+
+def run_monitor_sets_ablation(
+    runner: Runner,
+    cores: int = 16,
+    set_counts: tuple[int, ...] = (8, 20, 40, 80),
+) -> AblationResult:
+    """Sampled-set count: the paper fixes 40 after citing 32 as sufficient."""
+    gains = {}
+    for count in set_counts:
+        gains[f"{count} monitor sets"] = _mean_gain(
+            runner, cores, lambda c=count: _adapt_for(runner, num_monitor_sets=c)
+        )
+    return AblationResult("monitor set count (Section 3.1)", gains)

@@ -1,0 +1,183 @@
+"""Shared infrastructure for the paper-figure experiments.
+
+All experiments run through a :class:`Runner`, which owns the system
+configuration, memoises IPC_alone baselines and caches multi-programmed
+runs so that e.g. Figure 3's TA-DRRIP runs are reused by Figure 4/5's
+per-application analysis and Table 7's metric table.
+
+Budgets honour the ``REPRO_SCALE`` environment variable: ``REPRO_SCALE=1``
+(default) runs a representative subsample of each suite in CI-friendly
+time; larger values approach the paper's full workload counts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.metrics.throughput import compute_all_metrics, weighted_speedup
+from repro.policies.base import ReplacementPolicy
+from repro.sim.config import SystemConfig
+from repro.sim.multi import run_workload
+from repro.sim.results import WorkloadResult
+from repro.sim.single import AloneCache
+from repro.trace.workloads import TABLE6, Workload, design_suite
+
+#: The policies compared in Figures 3 and 8, paper naming and order.
+FIGURE_POLICIES = ("adapt_bp32", "lru", "ship", "eaf", "adapt_ins")
+BASELINE_POLICY = "tadrrip"
+
+
+def scale_factor() -> float:
+    """The ``REPRO_SCALE`` knob (>= 0.1)."""
+    try:
+        value = float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        value = 1.0
+    return max(0.1, value)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run budgets for one experiment campaign."""
+
+    master_seed: int = 0
+    quota: int = 20_000  # measured accesses per core
+    warmup: int = 7_000  # warm-up accesses per core
+    alone_quota: int = 25_000
+    alone_warmup: int = 4_000
+    #: Per-suite workload counts (paper counts scaled down by default).
+    workloads: dict[int, int] = field(
+        default_factory=lambda: {4: 6, 8: 4, 16: 6, 20: 2, 24: 2}
+    )
+
+    @staticmethod
+    def from_env() -> "ExperimentSettings":
+        s = scale_factor()
+        base = ExperimentSettings()
+        scaled = {
+            cores: max(2, min(TABLE6[cores].num_workloads, round(n * s)))
+            for cores, n in base.workloads.items()
+        }
+        return ExperimentSettings(workloads=scaled)
+
+    def suite(self, cores: int) -> list[Workload]:
+        return design_suite(cores, self.workloads[cores], self.master_seed)
+
+
+def config_for_cores(base: SystemConfig, cores: int) -> SystemConfig:
+    """The platform for a given suite, following Section 4.3.
+
+    "For 4 and 8-core workloads, we study with 4MB and 8MB shared caches
+    while 16, 20 and 24-core workloads are studied with a 16MB cache" —
+    i.e. the LLC shrinks proportionally below 16 cores (so per-application
+    pressure stays in the studied regime), and stays fixed above, which is
+    the #cores >= #ways scenario.  A floor of 64 sets protects miniature
+    test configurations.
+    """
+    config = base.with_cores(cores)
+    if cores < 16:
+        factor = 16 // cores
+        sets = max(64, base.llc.num_sets // factor)
+        if sets != base.llc.num_sets:
+            config = config.with_llc(num_sets=sets)
+    return config
+
+
+class Runner:
+    """Memoising front-end over the simulation drivers."""
+
+    def __init__(self, config: SystemConfig, settings: ExperimentSettings | None = None):
+        self.config = config
+        self.settings = settings or ExperimentSettings.from_env()
+        self._alone_caches: dict[str, AloneCache] = {}
+        self._runs: dict[tuple[str, str, str], WorkloadResult] = {}
+
+    # -- baselines ---------------------------------------------------------------
+
+    def _alone_cache(self, config: SystemConfig) -> AloneCache:
+        cache = self._alone_caches.get(config.name)
+        if cache is None:
+            cache = AloneCache(
+                config,
+                quota=self.settings.alone_quota,
+                warmup=self.settings.alone_warmup,
+                master_seed=self.settings.master_seed,
+            )
+            self._alone_caches[config.name] = cache
+        return cache
+
+    def alone_ipcs(self, workload: Workload, config: SystemConfig | None = None) -> list[float]:
+        config = config or self.config
+        return self._alone_cache(config).ipcs(workload.benchmarks)
+
+    # -- multi-programmed runs -----------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        policy: str | ReplacementPolicy,
+        config: SystemConfig | None = None,
+    ) -> WorkloadResult:
+        config = config or self.config
+        key = (
+            workload.name,
+            policy if isinstance(policy, str) else f"obj:{policy.name}:{id(policy)}",
+            config.name,
+        )
+        result = self._runs.get(key)
+        if result is None:
+            result = run_workload(
+                workload,
+                config,
+                policy,
+                quota=self.settings.quota,
+                warmup=self.settings.warmup,
+                master_seed=self.settings.master_seed,
+            )
+            self._runs[key] = result
+        return result
+
+    # -- derived metrics ----------------------------------------------------------------
+
+    def weighted_speedup(
+        self,
+        workload: Workload,
+        policy: str | ReplacementPolicy,
+        config: SystemConfig | None = None,
+    ) -> float:
+        result = self.run(workload, policy, config)
+        return weighted_speedup(result.ipcs, self.alone_ipcs(workload, config))
+
+    def relative_ws(
+        self,
+        workload: Workload,
+        policy: str | ReplacementPolicy,
+        config: SystemConfig | None = None,
+        baseline: str = BASELINE_POLICY,
+    ) -> float:
+        """Per-workload speed-up over the TA-DRRIP baseline (figure y-axis)."""
+        return self.weighted_speedup(workload, policy, config) / self.weighted_speedup(
+            workload, baseline, config
+        )
+
+    def all_metrics(
+        self,
+        workload: Workload,
+        policy: str | ReplacementPolicy,
+        config: SystemConfig | None = None,
+    ) -> dict[str, float]:
+        result = self.run(workload, policy, config)
+        return compute_all_metrics(result.ipcs, self.alone_ipcs(workload, config))
+
+
+def format_series(label: str, values: list[float]) -> str:
+    body = " ".join(f"{v:.3f}" for v in values)
+    return f"{label:<12} {body}"
+
+
+def geometric_mean_gain(values: list[float]) -> float:
+    """Mean percentage gain of a series of baseline-relative ratios."""
+    from repro.util.stats import geometric_mean
+
+    return (geometric_mean(values) - 1.0) * 100.0

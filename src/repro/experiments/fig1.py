@@ -1,0 +1,94 @@
+"""Figure 1: the motivation experiment.
+
+TA-DRRIP under set-duelling settles on SRRIP for thrashing applications;
+forcing BRRIP on them instead (``TA-DRRIP(forced)``) improves the
+workload-level weighted speed-up, barely changes the thrashing
+applications' own MPKI (Figure 1b, except cactusADM) and slashes the
+non-thrashing applications' MPKI (Figure 1c, up to ~72% for art).
+The experiment also shows insensitivity to the number of duelling sets
+(SD=64 vs SD=128).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Runner, geometric_mean_gain
+from repro.metrics.cachestats import average_by_app, mpki_reduction_percent
+from repro.policies.tadrrip import TaDrripPolicy
+from repro.trace.benchmarks import BENCHMARKS
+from repro.trace.workloads import Workload
+
+
+def forced_tadrrip(workload: Workload, leader_sets: int = 32) -> TaDrripPolicy:
+    """TA-DRRIP with BRRIP forced on the workload's thrashing cores."""
+    return TaDrripPolicy(
+        leader_sets=leader_sets, forced_brrip_cores=workload.thrashing_cores()
+    )
+
+
+@dataclass
+class Fig1Result:
+    #: Normalized WS of each variant over default TA-DRRIP (Fig. 1a bars).
+    bars: dict[str, float]
+    #: app -> avg MPKI reduction % under forced BRRIP (Figs. 1b/1c).
+    mpki_reduction: dict[str, float]
+
+    def thrashing_rows(self) -> dict[str, float]:
+        return {
+            a: v for a, v in self.mpki_reduction.items() if BENCHMARKS[a].thrashing
+        }
+
+    def other_rows(self) -> dict[str, float]:
+        return {
+            a: v
+            for a, v in self.mpki_reduction.items()
+            if not BENCHMARKS[a].thrashing
+        }
+
+    def render(self) -> str:
+        lines = ["== Fig. 1a: speed-up over TA-DRRIP =="]
+        for label, value in self.bars.items():
+            lines.append(f"{label:<22} {value:.3f}")
+        lines.append("== Fig. 1b: MPKI reduction %, thrashing apps (forced BRRIP) ==")
+        for app, red in sorted(self.thrashing_rows().items()):
+            lines.append(f"{app:<8} {red:+7.1f}%")
+        lines.append("== Fig. 1c: MPKI reduction %, other apps ==")
+        for app, red in sorted(self.other_rows().items()):
+            lines.append(f"{app:<8} {red:+7.1f}%")
+        return "\n".join(lines)
+
+
+def run_fig1(runner: Runner, cores: int = 16) -> Fig1Result:
+    config = runner.config.with_cores(cores)
+    suite = runner.settings.suite(cores)
+    ratios: dict[str, list[float]] = {
+        "TA-DRRIP(SD=64)": [],
+        "TA-DRRIP(SD=128)": [],
+        "TA-DRRIP(forced)": [],
+    }
+    reduction_rows: list[dict[str, float]] = []
+    for workload in suite:
+        base_ws = runner.weighted_speedup(workload, "tadrrip", config)
+        base_apps = runner.run(workload, "tadrrip", config).per_app()
+        variants = {
+            "TA-DRRIP(SD=64)": TaDrripPolicy(leader_sets=64),
+            "TA-DRRIP(SD=128)": TaDrripPolicy(leader_sets=128),
+            "TA-DRRIP(forced)": forced_tadrrip(workload),
+        }
+        for label, policy in variants.items():
+            ws = runner.weighted_speedup(workload, policy, config)
+            ratios[label].append(ws / base_ws)
+            if label == "TA-DRRIP(forced)":
+                snaps = runner.run(workload, policy, config).per_app()
+                reduction_rows.append(
+                    {
+                        app: mpki_reduction_percent(s.llc_mpki, base_apps[app].llc_mpki)
+                        for app, s in snaps.items()
+                    }
+                )
+    bars = {
+        label: 1.0 + geometric_mean_gain(values) / 100.0
+        for label, values in ratios.items()
+    }
+    return Fig1Result(bars=bars, mpki_reduction=average_by_app(reduction_rows))

@@ -1,0 +1,54 @@
+"""Figure 6: the impact of bypassing on every replacement policy.
+
+For TA-DRRIP, SHiP and EAF, compare the insertion variant against the
+bypass variant (distant-priority insertions converted to bypasses, 1/32
+kept); for ADAPT, compare ``ADAPT_ins`` against ``ADAPT_bp32``.  The paper
+finds bypassing helps TA-DRRIP and EAF, costs SHiP a little (its few
+distant predictions are often wrong), and completes ADAPT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Runner, geometric_mean_gain
+
+#: (label, insertion policy, bypass policy)
+PAIRS = (
+    ("TA-DRRIP", "tadrrip", "tadrrip+bp"),
+    ("SHiP", "ship", "ship+bp"),
+    ("EAF", "eaf", "eaf+bp"),
+    ("ADAPT", "adapt_ins", "adapt_bp32"),
+)
+
+
+@dataclass
+class Fig6Result:
+    #: label -> (insertion mean WS ratio, bypass mean WS ratio) over TA-DRRIP.
+    bars: dict[str, tuple[float, float]]
+
+    def render(self) -> str:
+        lines = ["== Fig. 6: Wt. speed-up over TA-DRRIP, insertion vs bypass =="]
+        for label, (ins, byp) in self.bars.items():
+            delta = (byp - ins) * 100
+            lines.append(
+                f"{label:<9} insertion {ins:.3f}  bypass {byp:.3f}  (bypass {delta:+.1f} pp)"
+            )
+        return "\n".join(lines)
+
+
+def run_fig6(runner: Runner, cores: int = 16) -> Fig6Result:
+    config = runner.config.with_cores(cores)
+    suite = runner.settings.suite(cores)
+    bars: dict[str, tuple[float, float]] = {}
+    for label, ins_name, byp_name in PAIRS:
+        ins_ratios, byp_ratios = [], []
+        for workload in suite:
+            base = runner.weighted_speedup(workload, "tadrrip", config)
+            ins_ratios.append(runner.weighted_speedup(workload, ins_name, config) / base)
+            byp_ratios.append(runner.weighted_speedup(workload, byp_name, config) / base)
+        bars[label] = (
+            1.0 + geometric_mean_gain(ins_ratios) / 100.0,
+            1.0 + geometric_mean_gain(byp_ratios) / 100.0,
+        )
+    return Fig6Result(bars=bars)

@@ -1,0 +1,79 @@
+"""Figures 4 and 5: per-application MPKI reduction and IPC speed-up.
+
+Averaged over the 16-core workloads: for every application, the
+percentage reduction in LLC MPKI and the IPC speed-up of each policy
+relative to TA-DRRIP on the same workload.  Figure 4 covers the eleven
+thrashing applications, Figure 5 the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import BASELINE_POLICY, FIGURE_POLICIES, Runner
+from repro.metrics.cachestats import average_by_app, ipc_speedup, mpki_reduction_percent
+from repro.trace.benchmarks import BENCHMARKS
+
+
+@dataclass
+class PerAppResult:
+    """Average per-application effects of each policy (vs TA-DRRIP)."""
+
+    #: policy -> app -> average MPKI reduction (%)
+    mpki_reduction: dict[str, dict[str, float]]
+    #: policy -> app -> average IPC speed-up ratio
+    ipc_speedup: dict[str, dict[str, float]]
+
+    def apps(self, thrashing: bool) -> list[str]:
+        some_policy = next(iter(self.mpki_reduction.values()))
+        return sorted(
+            app for app in some_policy if BENCHMARKS[app].thrashing == thrashing
+        )
+
+    def render(self, thrashing: bool) -> str:
+        apps = self.apps(thrashing)
+        kind = "thrashing (Fig. 4)" if thrashing else "non-thrashing (Fig. 5)"
+        lines = [f"== per-application effects vs {BASELINE_POLICY}: {kind} =="]
+        header = f"{'app':<8}" + "".join(f"{p:>22}" for p in self.mpki_reduction)
+        lines.append(header + "   (MPKI red. % / IPC x)")
+        for app in apps:
+            row = f"{app:<8}"
+            for policy in self.mpki_reduction:
+                red = self.mpki_reduction[policy].get(app, 0.0)
+                spd = self.ipc_speedup[policy].get(app, 1.0)
+                row += f"  {red:+8.1f}% /{spd:6.3f}x"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_perapp(
+    runner: Runner,
+    cores: int = 16,
+    policies: tuple[str, ...] = FIGURE_POLICIES,
+) -> PerAppResult:
+    """Per-application averages over a suite (Figures 4 and 5)."""
+    config = runner.config.with_cores(cores)
+    suite = runner.settings.suite(cores)
+    mpki_rows: dict[str, list[dict[str, float]]] = {p: [] for p in policies}
+    ipc_rows: dict[str, list[dict[str, float]]] = {p: [] for p in policies}
+    for workload in suite:
+        base = runner.run(workload, BASELINE_POLICY, config).per_app()
+        for policy in policies:
+            snaps = runner.run(workload, policy, config).per_app()
+            mpki_rows[policy].append(
+                {
+                    app: mpki_reduction_percent(s.llc_mpki, base[app].llc_mpki)
+                    for app, s in snaps.items()
+                }
+            )
+            ipc_rows[policy].append(
+                {
+                    app: ipc_speedup(s.ipc, base[app].ipc)
+                    for app, s in snaps.items()
+                    if base[app].ipc > 0
+                }
+            )
+    return PerAppResult(
+        mpki_reduction={p: average_by_app(rows) for p, rows in mpki_rows.items()},
+        ipc_speedup={p: average_by_app(rows) for p, rows in ipc_rows.items()},
+    )

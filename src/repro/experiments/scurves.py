@@ -1,0 +1,76 @@
+"""Figures 3 and 8: weighted-speed-up s-curves over TA-DRRIP.
+
+For each workload in a Table 6 suite, run every policy, normalise its
+weighted speed-up to TA-DRRIP on the same workload, and sort the ratios —
+the s-curves of Figure 3 (16-core) and Figure 8 (4/8/20/24-core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    BASELINE_POLICY,
+    FIGURE_POLICIES,
+    Runner,
+    config_for_cores,
+    geometric_mean_gain,
+)
+from repro.sim.config import SystemConfig
+
+
+@dataclass
+class ScurveResult:
+    """One suite's policy-vs-baseline ratios."""
+
+    cores: int
+    workload_names: list[str]
+    #: policy -> per-workload WS ratio over TA-DRRIP (workload order).
+    ratios: dict[str, list[float]]
+
+    def s_curve(self, policy: str) -> list[float]:
+        return sorted(self.ratios[policy])
+
+    def mean_gain_percent(self, policy: str) -> float:
+        return geometric_mean_gain(self.ratios[policy])
+
+    def max_gain_percent(self, policy: str) -> float:
+        return (max(self.ratios[policy]) - 1.0) * 100.0
+
+    def render(self) -> str:
+        lines = [f"== {self.cores}-core s-curves (WS over {BASELINE_POLICY}, "
+                 f"{len(self.workload_names)} workloads) =="]
+        for policy in self.ratios:
+            curve = " ".join(f"{v:.3f}" for v in self.s_curve(policy))
+            lines.append(
+                f"{policy:<11} avg {self.mean_gain_percent(policy):+6.2f}%  "
+                f"max {self.max_gain_percent(policy):+6.2f}%  | {curve}"
+            )
+        return "\n".join(lines)
+
+
+def run_scurve(
+    runner: Runner,
+    cores: int,
+    policies: tuple[str, ...] = FIGURE_POLICIES,
+    config: SystemConfig | None = None,
+) -> ScurveResult:
+    """Run one suite under all policies; see Figures 3 and 8.
+
+    Below 16 cores the LLC shrinks proportionally, per Section 4.3's
+    4MB/8MB note (see :func:`~repro.experiments.common.config_for_cores`).
+    """
+    config = config or config_for_cores(runner.config, cores)
+    suite = runner.settings.suite(cores)
+    ratios: dict[str, list[float]] = {p: [] for p in policies}
+    for workload in suite:
+        base = runner.weighted_speedup(workload, BASELINE_POLICY, config)
+        for policy in policies:
+            ratios[policy].append(
+                runner.weighted_speedup(workload, policy, config) / base
+            )
+    return ScurveResult(
+        cores=cores,
+        workload_names=[w.name for w in suite],
+        ratios=ratios,
+    )

@@ -1,0 +1,69 @@
+"""Table 4: per-benchmark characterisation, run alone.
+
+For each of the 36 synthetic benchmarks: the Footprint-number measured by
+an all-sets monitor with 32-entry arrays (the paper's Fpn(A) upper-bound
+column), the Footprint-number measured by the deployed 40-set/16-entry
+sampler (Fpn(S)), and the L2-MPKI — then the Table 5 class derived from
+the measurements, compared against the paper's class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classification import ClassifiedBenchmark, classify
+from repro.experiments.common import ExperimentSettings
+from repro.sim.config import SystemConfig
+from repro.sim.single import run_alone
+from repro.trace.benchmarks import BENCHMARKS
+
+
+@dataclass
+class Table4Result:
+    rows: list[ClassifiedBenchmark]
+
+    @property
+    def matches(self) -> int:
+        return sum(1 for row in self.rows if row.matches_paper)
+
+    def render(self) -> str:
+        lines = ["== Table 4: benchmark characterisation (measured alone) =="]
+        lines.extend(row.render() for row in self.rows)
+        lines.append(
+            f"-- class agreement with paper: {self.matches}/{len(self.rows)} --"
+        )
+        return "\n".join(lines)
+
+
+def characterise(
+    benchmark: str, config: SystemConfig, settings: ExperimentSettings
+) -> ClassifiedBenchmark:
+    """One Table 4 row."""
+    result = run_alone(
+        benchmark,
+        config,
+        quota=settings.alone_quota,
+        warmup=settings.alone_warmup,
+        master_seed=settings.master_seed,
+        monitor=True,
+        monitor_all_sets=True,
+    )
+    fpn_all = result.footprints.get("all", 0.0)
+    fpn_sampled = result.footprints.get("sampled", 0.0)
+    mpki = result.l2_mpki
+    return ClassifiedBenchmark(
+        name=benchmark,
+        fpn_all=fpn_all,
+        fpn_sampled=fpn_sampled,
+        l2_mpki=mpki,
+        measured_class=classify(fpn_sampled, mpki),
+        paper_class=BENCHMARKS[benchmark].paper_class,
+    )
+
+
+def run_table4(
+    config: SystemConfig, settings: ExperimentSettings | None = None
+) -> Table4Result:
+    settings = settings or ExperimentSettings.from_env()
+    rows = [characterise(name, config, settings) for name in BENCHMARKS]
+    return Table4Result(rows=rows)

@@ -1,0 +1,51 @@
+"""Table 7: ADAPT's gain under the five multi-core metrics.
+
+Weighted speed-up, harmonic mean of normalized IPCs, and the geometric /
+harmonic / arithmetic means of raw IPCs, for every core count in the
+workload design.  Each cell is ADAPT_bp32's average percentage improvement
+over TA-DRRIP on the corresponding suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Runner, config_for_cores, geometric_mean_gain
+from repro.metrics.throughput import METRIC_LABELS, METRIC_NAMES
+
+
+@dataclass
+class Table7Result:
+    #: metric -> cores -> mean gain %.
+    gains: dict[str, dict[int, float]]
+    core_counts: tuple[int, ...]
+
+    def render(self) -> str:
+        header = f"{'Metric':<14}" + "".join(f"{c:>9}-core" for c in self.core_counts)
+        lines = ["== Table 7: ADAPT gain over TA-DRRIP ==", header]
+        for metric in METRIC_NAMES:
+            row = f"{METRIC_LABELS[metric]:<14}"
+            for cores in self.core_counts:
+                row += f"{self.gains[metric][cores]:+13.2f}%"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_table7(
+    runner: Runner,
+    core_counts: tuple[int, ...] = (4, 8, 16, 20, 24),
+    policy: str = "adapt_bp32",
+) -> Table7Result:
+    gains: dict[str, dict[int, float]] = {m: {} for m in METRIC_NAMES}
+    for cores in core_counts:
+        config = config_for_cores(runner.config, cores)
+        suite = runner.settings.suite(cores)
+        ratios: dict[str, list[float]] = {m: [] for m in METRIC_NAMES}
+        for workload in suite:
+            base = runner.all_metrics(workload, "tadrrip", config)
+            ours = runner.all_metrics(workload, policy, config)
+            for metric in METRIC_NAMES:
+                ratios[metric].append(ours[metric] / base[metric])
+        for metric in METRIC_NAMES:
+            gains[metric][cores] = geometric_mean_gain(ratios[metric])
+    return Table7Result(gains=gains, core_counts=core_counts)

@@ -1,0 +1,84 @@
+"""Multi-core throughput and fairness metrics (Section 5.6, Table 7).
+
+Given per-application shared-mode IPCs and solo-execution baselines:
+
+* **Weighted speed-up**: ``sum_i IPC_shared_i / IPC_alone_i`` — the paper's
+  headline metric.
+* **Harmonic mean of normalized IPCs**: ``N / sum_i (IPC_alone_i /
+  IPC_shared_i)`` — balances fairness and throughput (Luo et al. [41]).
+* **GM / HM / AM of raw IPCs** — Michaud's consistent throughput metrics
+  [27].
+
+Experiment-level comparisons normalize a policy's metric against the
+TA-DRRIP baseline on the same workload, matching every figure's y-axis
+("speed-up over TA-DRRIP").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.util.stats import arithmetic_mean, geometric_mean, harmonic_mean
+
+#: Table 7 metric identifiers, in the paper's row order.
+METRIC_NAMES = ("ws", "hm_norm", "gm_ipc", "hm_ipc", "am_ipc")
+
+METRIC_LABELS = {
+    "ws": "Wt.Speed-up",
+    "hm_norm": "Norm. HM",
+    "gm_ipc": "GM of IPCs",
+    "hm_ipc": "HM of IPCs",
+    "am_ipc": "AM of IPCs",
+}
+
+
+def _check(shared: Sequence[float], alone: Sequence[float]) -> None:
+    if len(shared) != len(alone):
+        raise ValueError("shared and alone IPC vectors differ in length")
+    if len(shared) == 0:
+        raise ValueError("empty IPC vectors")
+    if any(v <= 0 for v in shared) or any(v <= 0 for v in alone):
+        raise ValueError("IPCs must be strictly positive")
+
+
+def weighted_speedup(shared: Sequence[float], alone: Sequence[float]) -> float:
+    _check(shared, alone)
+    return sum(s / a for s, a in zip(shared, alone))
+
+
+def harmonic_mean_of_normalized_ipcs(
+    shared: Sequence[float], alone: Sequence[float]
+) -> float:
+    _check(shared, alone)
+    return len(shared) / sum(a / s for s, a in zip(shared, alone))
+
+
+def compute_all_metrics(
+    shared: Sequence[float], alone: Sequence[float]
+) -> dict[str, float]:
+    """All five Table 7 metrics for one workload run."""
+    _check(shared, alone)
+    return {
+        "ws": weighted_speedup(shared, alone),
+        "hm_norm": harmonic_mean_of_normalized_ipcs(shared, alone),
+        "gm_ipc": geometric_mean(shared),
+        "hm_ipc": harmonic_mean(shared),
+        "am_ipc": arithmetic_mean(shared),
+    }
+
+
+def relative_gain(value: float, baseline: float) -> float:
+    """Normalized improvement over the baseline policy (e.g. 1.047 -> 4.7%)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be strictly positive")
+    return value / baseline
+
+
+def mean_gain_percent(ratios: Sequence[float]) -> float:
+    """Average percentage improvement of a series of per-workload ratios.
+
+    The paper reports geometric-mean-style averages of per-workload
+    speed-ups; we use the geometric mean (robust to one outlier workload)
+    and express it as a percentage.
+    """
+    return (geometric_mean(ratios) - 1.0) * 100.0

@@ -1,0 +1,45 @@
+"""Replacement-policy zoo: every baseline the paper compares against.
+
+The DIP lineage (:mod:`repro.policies.lru`), the RRIP family
+(:mod:`repro.policies.rrip`, :mod:`repro.policies.drrip`,
+:mod:`repro.policies.tadrrip`), the smarter insertion predictors
+(:mod:`repro.policies.ship`, :mod:`repro.policies.eaf`), the Figure 6
+bypass wrapper (:mod:`repro.policies.bypass`) and the name-based factory
+(:mod:`repro.policies.registry`).  ADAPT itself lives in
+:mod:`repro.core` but registers here.
+"""
+
+from repro.policies.base import BYPASS, ReplacementPolicy
+from repro.policies.bypass import BypassWrapper
+from repro.policies.drrip import DrripPolicy
+from repro.policies.dueling import DuelMap
+from repro.policies.eaf import BloomFilter, EafPolicy
+from repro.policies.lru import BipPolicy, DipPolicy, LipPolicy, LruPolicy
+from repro.policies.random_ import RandomPolicy
+from repro.policies.registry import PAPER_POLICIES, available_policies, make_policy
+from repro.policies.rrip import BrripPolicy, RripPolicyBase, SrripPolicy
+from repro.policies.ship import ShipPolicy
+from repro.policies.tadrrip import TaDrripPolicy
+
+__all__ = [
+    "BYPASS",
+    "ReplacementPolicy",
+    "BypassWrapper",
+    "DuelMap",
+    "DrripPolicy",
+    "BloomFilter",
+    "EafPolicy",
+    "LruPolicy",
+    "LipPolicy",
+    "BipPolicy",
+    "DipPolicy",
+    "RandomPolicy",
+    "RripPolicyBase",
+    "SrripPolicy",
+    "BrripPolicy",
+    "ShipPolicy",
+    "TaDrripPolicy",
+    "PAPER_POLICIES",
+    "available_policies",
+    "make_policy",
+]

@@ -1,0 +1,125 @@
+"""Replacement-policy interface shared by every LLC policy.
+
+The cache owns the *architectural* state of each line (block address, valid,
+dirty, owner core); the policy owns whatever *replacement* state it needs
+(recency stacks, RRPV arrays, signatures, duelling counters).  The cache
+drives the policy through five hooks:
+
+``decide_insertion``
+    Called on a miss *before* any allocation.  Returns a policy-specific
+    insertion code (for RRIP policies, the RRPV to insert with; for
+    recency-stack policies, a stack position code) or :data:`BYPASS` to skip
+    allocation entirely.  Bypass is the mechanism behind the paper's
+    ADAPT_bp32 variant and the Figure 6 study.
+
+``victim``
+    Called when an allocation needs a way and the set is full.  Returns the
+    way index to evict.  RRIP policies may age the set as a side effect
+    (incrementing all RRPVs until one reaches 3), which is why victim
+    selection is a policy method rather than a pure function.
+
+``on_fill``
+    Called after the line is installed, with the insertion code previously
+    returned by ``decide_insertion``.
+
+``on_hit``
+    Called on every lookup hit.  ``is_demand`` distinguishes demand accesses
+    from prefetches and writebacks — the paper (footnote 4) updates recency
+    state on demand accesses only.  The block address is passed through so
+    monitoring policies (ADAPT's Footprint-number sampler observes *all*
+    demand accesses, hits included) can sample it.
+
+``on_evict``
+    Called when a valid line is replaced (or invalidated), with whether the
+    line was reused since insertion — the learning signal for SHiP and the
+    address capture point for EAF.
+
+Policies that observe misses for set-duelling additionally implement
+``on_miss``, called for every demand miss with the set index.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Sentinel returned by :meth:`ReplacementPolicy.decide_insertion` to skip
+#: allocation.  ``None`` is deliberately not used so a buggy hook that falls
+#: through without returning fails loudly in the cache.
+BYPASS: Any = object()
+
+
+class ReplacementPolicy:
+    """Base class with the no-op default behaviour.
+
+    Subclasses must implement :meth:`decide_insertion`, :meth:`victim`,
+    :meth:`on_fill` and :meth:`on_hit`; the remaining hooks default to
+    no-ops.  ``bind`` is called exactly once by the owning cache before any
+    traffic and tells the policy the cache geometry.
+    """
+
+    #: Human-readable registry name, overridden by subclasses.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.num_sets = 0
+        self.ways = 0
+        self.num_cores = 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self, num_sets: int, ways: int, num_cores: int) -> None:
+        """Allocate per-line replacement state for the given geometry."""
+        self.num_sets = num_sets
+        self.ways = ways
+        self.num_cores = num_cores
+
+    # -- decision hooks ----------------------------------------------------
+
+    def decide_insertion(
+        self, set_idx: int, core_id: int, pc: int, block_addr: int, is_demand: bool
+    ) -> Any:
+        raise NotImplementedError
+
+    def victim(self, set_idx: int, core_id: int) -> int:
+        raise NotImplementedError
+
+    # -- notification hooks ------------------------------------------------
+
+    def on_fill(
+        self,
+        set_idx: int,
+        way: int,
+        insertion: Any,
+        core_id: int,
+        pc: int,
+        block_addr: int,
+        is_demand: bool,
+    ) -> None:
+        raise NotImplementedError
+
+    def on_hit(
+        self, set_idx: int, way: int, core_id: int, is_demand: bool, block_addr: int = -1
+    ) -> None:
+        raise NotImplementedError
+
+    def on_evict(
+        self, set_idx: int, way: int, core_id: int, block_addr: int, was_reused: bool
+    ) -> None:
+        """Victim notification; default no-op."""
+
+    def on_miss(self, set_idx: int, core_id: int, is_demand: bool) -> None:
+        """Demand-miss notification for set-duelling learners; default no-op."""
+
+    def end_interval(self) -> None:
+        """Periodic hook driven by the engine's miss-interval clock.
+
+        ADAPT recomputes Footprint-numbers here; other policies ignore it.
+        """
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"

@@ -1,0 +1,79 @@
+"""Bypass wrapper: turn distant-priority insertions into bypasses (Fig. 6).
+
+Section 5.3 of the paper studies applying ADAPT's bypassing idea to the
+other replacement policies: whenever a policy would insert a demand line at
+distant priority (RRPV == max), the line is instead *not allocated* — it is
+returned straight to the private L2 — except for 1 out of 32, which is
+still installed at distant priority so the policy keeps a toehold of the
+stream to learn from (the same epsilon BRRIP uses).
+
+The wrapper composes with any RRIP-state policy (anything exposing
+``max_rrpv``).  LRU has no distant insertions, so, as the paper notes,
+there is no opportunity to bypass it.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import BYPASS, ReplacementPolicy
+from repro.policies.rrip import RripPolicyBase
+from repro.util.counters import FractionTicker
+
+
+class BypassWrapper(ReplacementPolicy):
+    """Delegating wrapper that converts distant insertions to bypasses."""
+
+    def __init__(self, inner: RripPolicyBase, insert_denominator: int = 32) -> None:
+        if not hasattr(inner, "max_rrpv"):
+            raise TypeError(
+                "BypassWrapper requires an RRIP-state policy (no distant "
+                f"insertions to bypass in {inner.describe()!r})"
+            )
+        super().__init__()
+        self.inner = inner
+        self.name = f"{inner.name}+bp"
+        self._ticker = FractionTicker(insert_denominator)
+        self.bypassed_distant = 0
+        self.kept_distant = 0
+
+    # -- delegation ----------------------------------------------------------
+
+    def bind(self, num_sets: int, ways: int, num_cores: int) -> None:
+        super().bind(num_sets, ways, num_cores)
+        self.inner.bind(num_sets, ways, num_cores)
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        decision = self.inner.decide_insertion(
+            set_idx, core_id, pc, block_addr, is_demand
+        )
+        if decision is BYPASS:
+            return BYPASS
+        if is_demand and decision == self.inner.max_rrpv:
+            if self._ticker.tick():
+                self.kept_distant += 1
+                return decision
+            self.bypassed_distant += 1
+            return BYPASS
+        return decision
+
+    def victim(self, set_idx: int, core_id: int) -> int:
+        return self.inner.victim(set_idx, core_id)
+
+    def on_fill(self, set_idx, way, insertion, core_id, pc, block_addr, is_demand):
+        self.inner.on_fill(set_idx, way, insertion, core_id, pc, block_addr, is_demand)
+
+    def on_hit(
+        self, set_idx: int, way: int, core_id: int, is_demand: bool, block_addr: int = -1
+    ) -> None:
+        self.inner.on_hit(set_idx, way, core_id, is_demand, block_addr)
+
+    def on_evict(self, set_idx, way, core_id, block_addr, was_reused) -> None:
+        self.inner.on_evict(set_idx, way, core_id, block_addr, was_reused)
+
+    def on_miss(self, set_idx: int, core_id: int, is_demand: bool) -> None:
+        self.inner.on_miss(set_idx, core_id, is_demand)
+
+    def end_interval(self) -> None:
+        self.inner.end_interval()
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()}+bypass"

@@ -1,0 +1,70 @@
+"""DRRIP: set-duelling between SRRIP and BRRIP (Jaleel et al. [1]).
+
+DRRIP is the thread-oblivious version: one PSEL counter, one pool of SRRIP
+leader sets, one pool of BRRIP leader sets, everyone follows the global
+winner.  It is the paper's private-L2 policy (Table 3) and the base for
+TA-DRRIP (:mod:`repro.policies.tadrrip`).
+"""
+
+from __future__ import annotations
+
+from repro.policies.dueling import DuelMap
+from repro.policies.rrip import RripPolicyBase
+from repro.util.counters import FractionTicker, PselCounter
+
+
+class DrripPolicy(RripPolicyBase):
+    """Set-duelled SRRIP vs BRRIP with a single PSEL."""
+
+    name = "drrip"
+
+    def __init__(
+        self,
+        leader_sets: int = 32,
+        psel_bits: int = 10,
+        rrpv_bits: int = 2,
+        epsilon_denominator: int = 32,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        self._leader_sets = leader_sets
+        self._psel = PselCounter(psel_bits)
+        self._ticker = FractionTicker(epsilon_denominator)
+
+    def bind(self, num_sets: int, ways: int, num_cores: int) -> None:
+        super().bind(num_sets, ways, num_cores)
+        self._duel = DuelMap(num_sets, self._leader_sets)
+
+    # Misses on SRRIP leaders push the PSEL up (SRRIP losing), misses on
+    # BRRIP leaders push it down; followers read the sign.
+    def on_miss(self, set_idx: int, core_id: int, is_demand: bool) -> None:
+        if not is_demand:
+            return
+        owner = self._duel.owner(set_idx, 0)
+        if owner == DuelMap.POLICY_A:
+            self._psel.increment()
+        elif owner == DuelMap.POLICY_B:
+            self._psel.decrement()
+
+    def _brrip_insertion(self) -> int:
+        if self._ticker.tick():
+            return self.max_rrpv - 1
+        return self.max_rrpv
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        if not is_demand:
+            return self.writeback_insertion()
+        owner = self._duel.owner(set_idx, 0)
+        if owner == DuelMap.POLICY_A:
+            return self.max_rrpv - 1  # SRRIP leader
+        if owner == DuelMap.POLICY_B:
+            return self._brrip_insertion()
+        if self._psel.selects_second:  # SRRIP losing -> BRRIP
+            return self._brrip_insertion()
+        return self.max_rrpv - 1
+
+    @property
+    def current_winner(self) -> str:
+        return "brrip" if self._psel.selects_second else "srrip"
+
+    def describe(self) -> str:
+        return f"drrip(winner={self.current_winner})"

@@ -1,0 +1,71 @@
+"""Set-duelling leader-set assignment.
+
+Set-duelling (Qureshi et al. [4]) dedicates a small pool of sets to each of
+two competing policies and lets follower sets adopt whichever pool misses
+less.  The paper notes "choosing as few as 32 sets per policy is
+sufficient" and that TA-DRRIP's behaviour is insensitive to 64 vs 128
+dedicated sets (Figure 1a) — our Fig. 1 bench sweeps that parameter.
+
+Leader sets are drawn from a per-thread pseudo-random permutation of the
+set index space (hardware implementations use bit-reversal or hashed
+"rand_sets" constituencies for the same reason): a simple arithmetic
+mapping like ``set % period`` resonates with strided reference streams,
+funnelling one application's misses entirely into one constituency and
+corrupting the duel.
+
+For thread-aware duelling (TADIP/TA-DRRIP), each thread owns its own
+leader pools: in a thread's leader sets *only that thread* commits to the
+duelled policy, while other threads follow their own winners.
+"""
+
+from __future__ import annotations
+
+
+class DuelMap:
+    """Maps (set index, thread) to leader/follower roles."""
+
+    POLICY_A = 0
+    POLICY_B = 1
+    FOLLOWER = -1
+
+    _LCG_A = 6364136223846793005
+    _LCG_C = 1442695040888963407
+    _MASK64 = (1 << 64) - 1
+
+    def __init__(self, num_sets: int, leader_sets_per_policy: int = 32) -> None:
+        if num_sets < 4:
+            raise ValueError("need at least 4 sets to duel")
+        # Clamp so tiny test caches still get at least one leader of each
+        # kind while at least half the sets remain followers.
+        self.num_sets = num_sets
+        self.leader_sets_per_policy = max(1, min(leader_sets_per_policy, num_sets // 4))
+        self._roles: dict[int, dict[int, int]] = {}
+
+    def _permutation(self, thread_id: int) -> list[int]:
+        """Deterministic Fisher-Yates shuffle of the set indices."""
+        state = (thread_id * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03) & self._MASK64
+        order = list(range(self.num_sets))
+        for i in range(self.num_sets - 1, 0, -1):
+            state = (state * self._LCG_A + self._LCG_C) & self._MASK64
+            j = (state >> 33) % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        return order
+
+    def _roles_for(self, thread_id: int) -> dict[int, int]:
+        roles = self._roles.get(thread_id)
+        if roles is None:
+            order = self._permutation(thread_id)
+            n = self.leader_sets_per_policy
+            roles = {s: self.POLICY_A for s in order[:n]}
+            roles.update({s: self.POLICY_B for s in order[n : 2 * n]})
+            self._roles[thread_id] = roles
+        return roles
+
+    def owner(self, set_idx: int, thread_id: int) -> int:
+        """Role of *set_idx* for *thread_id*."""
+        return self._roles_for(thread_id).get(set_idx, self.FOLLOWER)
+
+    def leader_sets(self, thread_id: int, policy: int) -> list[int]:
+        """All leader sets of *policy* for *thread_id* (testing/analysis)."""
+        roles = self._roles_for(thread_id)
+        return sorted(s for s, role in roles.items() if role == policy)

@@ -1,0 +1,165 @@
+"""Recency-stack policies: LRU, LIP, BIP and DIP.
+
+These are the DIP lineage (Qureshi et al., ISCA 2007 [4]) the paper builds
+its motivation on:
+
+* **LRU** inserts at MRU, evicts the least-recently-used line.
+* **LIP** (LRU Insertion Policy) inserts at LRU, so a line must be reused
+  once before it can pollute the stack.
+* **BIP** (Bimodal) is LIP with a 1/32 epsilon of MRU insertions, retaining
+  a trickle of a thrashing working set.
+* **DIP** set-duels LRU against BIP with a single PSEL counter.
+
+The stack is implemented with monotonic timestamps: promotion stamps the
+line with an increasing counter, LRU-insertions stamp it below every valid
+line, and the victim is the minimum stamp.  Only demand accesses update
+recency (paper footnote 4).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy
+from repro.policies.dueling import DuelMap
+from repro.util.counters import FractionTicker, PselCounter
+
+#: Insertion codes understood by :meth:`RecencyStackPolicy.on_fill`.
+MRU_INSERT = 1
+LRU_INSERT = 0
+
+
+class RecencyStackPolicy(ReplacementPolicy):
+    """Shared machinery for the timestamp-based recency stack."""
+
+    def bind(self, num_sets: int, ways: int, num_cores: int) -> None:
+        super().bind(num_sets, ways, num_cores)
+        self._stamp: list[list[int]] = [[0] * ways for _ in range(num_sets)]
+        # Per-set clocks: _next_mru counts up, _next_lru counts down, so an
+        # LRU-insert always lands below every line currently in the set.
+        self._next_mru = [1] * num_sets
+        self._next_lru = [-1] * num_sets
+
+    def on_hit(
+        self, set_idx: int, way: int, core_id: int, is_demand: bool, block_addr: int = -1
+    ) -> None:
+        if is_demand:
+            stamp = self._next_mru[set_idx]
+            self._stamp[set_idx][way] = stamp
+            self._next_mru[set_idx] = stamp + 1
+
+    def victim(self, set_idx: int, core_id: int) -> int:
+        row = self._stamp[set_idx]
+        return row.index(min(row))
+
+    def on_fill(
+        self,
+        set_idx: int,
+        way: int,
+        insertion: int,
+        core_id: int,
+        pc: int,
+        block_addr: int,
+        is_demand: bool,
+    ) -> None:
+        if insertion == MRU_INSERT:
+            stamp = self._next_mru[set_idx]
+            self._stamp[set_idx][way] = stamp
+            self._next_mru[set_idx] = stamp + 1
+        else:
+            stamp = self._next_lru[set_idx]
+            self._stamp[set_idx][way] = stamp
+            self._next_lru[set_idx] = stamp - 1
+
+    # -- analysis helper -------------------------------------------------------
+
+    def recency_order(self, set_idx: int) -> list[int]:
+        """Way indices from MRU to LRU (testing/analysis)."""
+        row = self._stamp[set_idx]
+        return sorted(range(self.ways), key=lambda w: -row[w])
+
+
+class LruPolicy(RecencyStackPolicy):
+    """Classic LRU: always insert at MRU."""
+
+    name = "lru"
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        return MRU_INSERT
+
+
+class LipPolicy(RecencyStackPolicy):
+    """LRU Insertion Policy: always insert at LRU."""
+
+    name = "lip"
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        return LRU_INSERT
+
+
+class BipPolicy(RecencyStackPolicy):
+    """Bimodal Insertion Policy: LRU insert, 1/epsilon MRU inserts."""
+
+    name = "bip"
+
+    def __init__(self, epsilon_denominator: int = 32) -> None:
+        super().__init__()
+        self._ticker = FractionTicker(epsilon_denominator)
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        if is_demand and self._ticker.tick():
+            return MRU_INSERT
+        return LRU_INSERT
+
+
+class DipPolicy(RecencyStackPolicy):
+    """Dynamic Insertion Policy: set-duel LRU vs BIP.
+
+    Misses on LRU-leader sets increment the PSEL, misses on BIP-leader sets
+    decrement it; follower sets use BIP while the PSEL reads high (LRU is
+    losing).  The paper's duelling parameters: 32 leader sets per policy and
+    a 10-bit PSEL with a 512 threshold.
+    """
+
+    name = "dip"
+
+    def __init__(
+        self,
+        leader_sets: int = 32,
+        psel_bits: int = 10,
+        epsilon_denominator: int = 32,
+    ) -> None:
+        super().__init__()
+        self._leader_sets = leader_sets
+        self._psel = PselCounter(psel_bits)
+        self._ticker = FractionTicker(epsilon_denominator)
+
+    def bind(self, num_sets: int, ways: int, num_cores: int) -> None:
+        super().bind(num_sets, ways, num_cores)
+        self._duel = DuelMap(num_sets, self._leader_sets)
+
+    def on_miss(self, set_idx: int, core_id: int, is_demand: bool) -> None:
+        if not is_demand:
+            return
+        owner = self._duel.owner(set_idx, 0)
+        if owner == DuelMap.POLICY_A:  # LRU leader missed
+            self._psel.increment()
+        elif owner == DuelMap.POLICY_B:  # BIP leader missed
+            self._psel.decrement()
+
+    def _bip_insertion(self, is_demand: bool) -> int:
+        if is_demand and self._ticker.tick():
+            return MRU_INSERT
+        return LRU_INSERT
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        owner = self._duel.owner(set_idx, 0)
+        if owner == DuelMap.POLICY_A:
+            return MRU_INSERT
+        if owner == DuelMap.POLICY_B:
+            return self._bip_insertion(is_demand)
+        if self._psel.selects_second:  # LRU is losing -> BIP
+            return self._bip_insertion(is_demand)
+        return MRU_INSERT
+
+    def describe(self) -> str:
+        winner = "bip" if self._psel.selects_second else "lru"
+        return f"dip(winner={winner})"

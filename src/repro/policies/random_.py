@@ -1,0 +1,45 @@
+"""Deterministic pseudo-random replacement — a sanity-floor baseline.
+
+Not evaluated in the paper, but useful for the test suite and as a
+reference point: any learning policy should beat it on recency-friendly
+workloads.  Victim selection uses a per-policy linear congruential sequence
+so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a pseudo-random way; insertion state-free."""
+
+    name = "random"
+
+    _LCG_A = 6364136223846793005
+    _LCG_C = 1442695040888963407
+    _MASK64 = (1 << 64) - 1
+
+    def __init__(self, seed: int = 1) -> None:
+        super().__init__()
+        self._state = seed & self._MASK64 or 1
+
+    def _next(self) -> int:
+        self._state = (self._state * self._LCG_A + self._LCG_C) & self._MASK64
+        return self._state >> 33
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        return 0
+
+    def victim(self, set_idx: int, core_id: int) -> int:
+        return self._next() % self.ways
+
+    def on_fill(
+        self, set_idx, way, insertion, core_id, pc, block_addr, is_demand
+    ) -> None:
+        pass
+
+    def on_hit(
+        self, set_idx: int, way: int, core_id: int, is_demand: bool, block_addr: int = -1
+    ) -> None:
+        pass

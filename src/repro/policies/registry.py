@@ -1,0 +1,77 @@
+"""Name-based policy factory.
+
+Experiments refer to LLC policies by the names the paper uses
+(``"tadrrip"``, ``"ship"``, ``"eaf"``, ``"adapt_bp32"``, ...).  A ``+bp``
+suffix wraps any RRIP-state policy in the Figure 6 bypass wrapper, e.g.
+``"tadrrip+bp"`` or ``"eaf+bp"``.
+
+``make_policy`` returns a *fresh* policy instance each call — policies are
+stateful and must never be shared between caches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.policies.base import ReplacementPolicy
+from repro.policies.bypass import BypassWrapper
+from repro.policies.drrip import DrripPolicy
+from repro.policies.eaf import EafPolicy
+from repro.policies.lru import BipPolicy, DipPolicy, LipPolicy, LruPolicy
+from repro.policies.random_ import RandomPolicy
+from repro.policies.rrip import BrripPolicy, SrripPolicy
+from repro.policies.ship import ShipPolicy
+from repro.policies.tadrrip import TaDrripPolicy
+
+# AdaptPolicy lives in repro.core, which itself builds on repro.policies;
+# importing it lazily breaks the package-level cycle.
+def _adapt(bypass_least: bool, **kw) -> ReplacementPolicy:
+    from repro.core.adapt import AdaptPolicy
+
+    return AdaptPolicy(bypass_least=bypass_least, **kw)
+
+
+_FACTORIES: dict[str, Callable[..., ReplacementPolicy]] = {
+    "lru": LruPolicy,
+    "lip": LipPolicy,
+    "bip": BipPolicy,
+    "dip": DipPolicy,
+    "random": RandomPolicy,
+    "srrip": SrripPolicy,
+    "brrip": BrripPolicy,
+    "drrip": DrripPolicy,
+    "tadrrip": TaDrripPolicy,
+    "ship": ShipPolicy,
+    "eaf": EafPolicy,
+    "adapt": lambda **kw: _adapt(True, **kw),
+    "adapt_bp32": lambda **kw: _adapt(True, **kw),
+    "adapt_ins": lambda **kw: _adapt(False, **kw),
+}
+
+#: Policies the paper evaluates head to head in Figures 3 and 8.
+PAPER_POLICIES = ("tadrrip", "lru", "ship", "eaf", "adapt_ins", "adapt_bp32")
+
+
+def available_policies() -> list[str]:
+    """All registered base policy names (without ``+bp`` forms)."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate the policy called *name*.
+
+    ``name`` may carry a ``+bp`` suffix to apply the bypass wrapper, and
+    keyword arguments are forwarded to the underlying constructor.
+    """
+    base_name, _, suffix = name.partition("+")
+    if suffix not in ("", "bp"):
+        raise ValueError(f"unknown policy modifier {suffix!r} in {name!r}")
+    factory = _FACTORIES.get(base_name)
+    if factory is None:
+        raise ValueError(
+            f"unknown policy {base_name!r}; available: {', '.join(available_policies())}"
+        )
+    policy = factory(**kwargs)
+    if suffix == "bp":
+        policy = BypassWrapper(policy)
+    return policy

@@ -1,0 +1,108 @@
+"""RRIP state machinery plus the static SRRIP and BRRIP policies.
+
+Re-Reference Interval Prediction (Jaleel et al., ISCA 2010 [1]) attaches an
+M-bit re-reference prediction value (RRPV) to every line; the paper (and
+all policies here) uses M=2, so RRPVs run 0..3:
+
+* RRPV 0 — predicted near-immediate reuse (hit promotion target),
+* RRPV 2 — SRRIP's "long" insertion,
+* RRPV 3 — "distant": the eviction candidate.
+
+Victim selection finds a line with RRPV 3, aging the whole set (increment
+all RRPVs) until one appears.  **SRRIP** inserts at 2 so new lines must
+prove themselves; it handles mixed recency+scan patterns.  **BRRIP**
+inserts at 3 with a 1/32 epsilon at 2; it retains a sliver of a thrashing
+working set, exactly like BIP does for LRU.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy
+from repro.util.counters import FractionTicker
+
+
+class RripPolicyBase(ReplacementPolicy):
+    """Common RRPV storage, victim selection and hit promotion.
+
+    Subclasses implement :meth:`decide_insertion`, returning the RRPV the
+    new line should be installed with (or :data:`~repro.policies.base.BYPASS`).
+    Exposes ``max_rrpv`` so the bypass wrapper can recognise
+    distant-priority insertions generically.
+    """
+
+    def __init__(self, rrpv_bits: int = 2) -> None:
+        super().__init__()
+        if rrpv_bits < 1:
+            raise ValueError("need at least 1 RRPV bit")
+        self.rrpv_bits = rrpv_bits
+        self.max_rrpv = (1 << rrpv_bits) - 1
+
+    def bind(self, num_sets: int, ways: int, num_cores: int) -> None:
+        super().bind(num_sets, ways, num_cores)
+        self.rrpv: list[list[int]] = [
+            [self.max_rrpv] * ways for _ in range(num_sets)
+        ]
+
+    def on_hit(
+        self, set_idx: int, way: int, core_id: int, is_demand: bool, block_addr: int = -1
+    ) -> None:
+        # Hit promotion: demand reuse predicts near-immediate re-reference.
+        if is_demand:
+            self.rrpv[set_idx][way] = 0
+
+    def victim(self, set_idx: int, core_id: int) -> int:
+        # Equivalent to "increment all RRPVs until one reaches max": jump
+        # straight by the gap between the set's max RRPV and the ceiling.
+        row = self.rrpv[set_idx]
+        current_max = max(row)
+        if current_max < self.max_rrpv:
+            delta = self.max_rrpv - current_max
+            for w in range(self.ways):
+                row[w] += delta
+        return row.index(self.max_rrpv)
+
+    def on_fill(
+        self,
+        set_idx: int,
+        way: int,
+        insertion: int,
+        core_id: int,
+        pc: int,
+        block_addr: int,
+        is_demand: bool,
+    ) -> None:
+        self.rrpv[set_idx][way] = insertion
+
+    # -- default insertions ------------------------------------------------
+
+    def writeback_insertion(self) -> int:
+        """Non-demand (write-back) fills install at distant priority."""
+        return self.max_rrpv
+
+
+class SrripPolicy(RripPolicyBase):
+    """Static RRIP: insert every line at RRPV max-1 ("long")."""
+
+    name = "srrip"
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        if not is_demand:
+            return self.writeback_insertion()
+        return self.max_rrpv - 1
+
+
+class BrripPolicy(RripPolicyBase):
+    """Bimodal RRIP: insert distant, with a 1/32 epsilon at "long"."""
+
+    name = "brrip"
+
+    def __init__(self, rrpv_bits: int = 2, epsilon_denominator: int = 32) -> None:
+        super().__init__(rrpv_bits)
+        self._ticker = FractionTicker(epsilon_denominator)
+
+    def decide_insertion(self, set_idx, core_id, pc, block_addr, is_demand):
+        if not is_demand:
+            return self.writeback_insertion()
+        if self._ticker.tick():
+            return self.max_rrpv - 1
+        return self.max_rrpv

@@ -1,0 +1,21 @@
+"""Simulation drivers: configurations, platform factory, and runners."""
+
+from repro.sim.build import build_hierarchy, build_sources, geometry_of, resolve_policy
+from repro.sim.config import CacheLevelConfig, SystemConfig
+from repro.sim.multi import run_workload
+from repro.sim.results import SingleRunResult, WorkloadResult
+from repro.sim.single import AloneCache, run_alone
+
+__all__ = [
+    "CacheLevelConfig",
+    "SystemConfig",
+    "build_hierarchy",
+    "build_sources",
+    "geometry_of",
+    "resolve_policy",
+    "run_workload",
+    "run_alone",
+    "AloneCache",
+    "SingleRunResult",
+    "WorkloadResult",
+]

@@ -1,0 +1,144 @@
+"""System configurations (Table 3) — paper-sized and scaled.
+
+Cache sizes in the simulator are expressed in sets x ways of 64-byte
+blocks.  ``SystemConfig.paper()`` is the configuration of Table 3 verbatim;
+``SystemConfig.scaled()`` is the default experiment configuration: every
+capacity divided by 64 with all the *ratios that drive the policies*
+preserved —
+
+* LLC associativity stays 16 (the paper's pivotal ``#cores >= #ways``),
+* the monitoring interval scales with the LLC block count (the paper's
+  1M-4M misses on a 16MB cache are 4x-16x its blocks; we default to 16x —
+  see ``interval_blocks_multiplier``),
+* 40 sampled monitor sets, 10-bit partial tags, 16-entry monitor arrays,
+* benchmark working sets are expressed in units of LLC sets
+  (Footprint-number targets), so they scale with the cache.
+
+Pure-Python simulation cannot reach 16MB x 300M-instruction scale in CI
+time; the scaling argument is laid out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry and latency of one cache level."""
+
+    num_sets: int
+    ways: int
+    latency: float
+
+    @property
+    def num_blocks(self) -> int:
+        return self.num_sets * self.ways
+
+    def capacity_bytes(self, block_size: int = 64) -> int:
+        return self.num_blocks * block_size
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full platform description consumed by :mod:`repro.sim.build`."""
+
+    name: str
+    num_cores: int
+    l1: CacheLevelConfig
+    l2: CacheLevelConfig
+    llc: CacheLevelConfig
+    llc_banks: int = 4
+    llc_bank_occupancy: float = 4.0
+    dram_banks: int = 8
+    dram_row_hit: float = 180.0
+    dram_row_conflict: float = 340.0
+    dram_row_bytes: int = 4096
+    llc_mshr_entries: int = 256
+    l2_wb_entries: int = 32
+    l2_wb_retire_at: int = 24
+    llc_wb_entries: int = 128
+    llc_wb_retire_at: int = 96
+    l1_next_line_prefetch: bool = False
+    #: The paper's future-work configuration (Section 7): a PC-indexed
+    #: stride prefetcher at each private L2.
+    l2_stride_prefetch: bool = False
+    l2_prefetch_degree: int = 2
+    #: Monitoring-interval length in LLC misses; ``None`` derives it as
+    #: ``interval_blocks_multiplier x LLC blocks``.
+    interval_misses: int | None = None
+    #: The paper fixes 1M misses (~4x the 16MB cache's blocks) but reports
+    #: "no significant difference in performance between 1M and 4M" (~16x).
+    #: We default to the top of that insensitive band: with 16+ diverse
+    #: applications sharing the miss budget, the shorter interval
+    #: undersamples per-application Footprint-numbers (each app gets only a
+    #: few accesses per monitored set per interval), while 16x gives the
+    #: monitor enough per-set evidence to separate thrashing applications.
+    interval_blocks_multiplier: int = 16
+    monitor_sets: int = 40
+    monitor_entries: int = 16
+    partial_tag_bits: int = 10
+    block_size: int = 64
+
+    @property
+    def effective_interval(self) -> int:
+        if self.interval_misses is not None:
+            return self.interval_misses
+        return self.interval_blocks_multiplier * self.llc.num_blocks
+
+    # -- canonical configurations ------------------------------------------------
+
+    @staticmethod
+    def paper(num_cores: int = 16) -> "SystemConfig":
+        """Table 3 verbatim: 32KB L1D, 256KB L2, 16MB 16-way LLC."""
+        return SystemConfig(
+            name=f"paper-{num_cores}core",
+            num_cores=num_cores,
+            l1=CacheLevelConfig(num_sets=64, ways=8, latency=3.0),
+            l2=CacheLevelConfig(num_sets=256, ways=16, latency=14.0),
+            llc=CacheLevelConfig(num_sets=16384, ways=16, latency=24.0),
+            l1_next_line_prefetch=True,
+            interval_misses=1_000_000,
+        )
+
+    @staticmethod
+    def scaled(num_cores: int = 16, llc_sets: int = 256) -> "SystemConfig":
+        """Default experiment configuration: 1/64-capacity Table 3.
+
+        256KB 16-way LLC (256 sets), 16KB L2, 8KB L1D.  The policy-relevant
+        ratios are preserved (LLC stays 16-way, monitor interval scales
+        with LLC blocks, benchmark working sets scale with LLC sets); see
+        the module docstring for the scaling argument.
+        """
+        return SystemConfig(
+            name=f"scaled-{num_cores}core",
+            num_cores=num_cores,
+            l1=CacheLevelConfig(num_sets=16, ways=8, latency=3.0),
+            l2=CacheLevelConfig(num_sets=16, ways=16, latency=14.0),
+            llc=CacheLevelConfig(num_sets=llc_sets, ways=16, latency=24.0),
+        )
+
+    # -- variants -----------------------------------------------------------------------
+
+    def with_llc(self, num_sets: int | None = None, ways: int | None = None) -> "SystemConfig":
+        """A copy with a different LLC geometry (Section 5.5's 24/32-way study)."""
+        llc = CacheLevelConfig(
+            num_sets=num_sets if num_sets is not None else self.llc.num_sets,
+            ways=ways if ways is not None else self.llc.ways,
+            latency=self.llc.latency,
+        )
+        suffix = f"llc{llc.num_sets}x{llc.ways}"
+        return replace(self, llc=llc, name=f"{self.name}-{suffix}")
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        base = self.name.split("-")[0]
+        return replace(self, num_cores=num_cores, name=f"{base}-{num_cores}core")
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_cores} cores, "
+            f"L1 {self.l1.capacity_bytes() // 1024}KB/{self.l1.ways}w, "
+            f"L2 {self.l2.capacity_bytes() // 1024}KB/{self.l2.ways}w, "
+            f"LLC {self.llc.capacity_bytes() // 1024}KB/{self.llc.ways}w, "
+            f"interval {self.effective_interval} misses"
+        )

@@ -1,0 +1,56 @@
+"""Result records produced by the simulation drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import CoreSnapshot
+
+
+@dataclass
+class SingleRunResult:
+    """One application running alone on the platform."""
+
+    benchmark: str
+    config_name: str
+    policy: str
+    snapshot: CoreSnapshot
+    #: Mean Footprint-numbers by monitor label (when monitored).
+    footprints: dict[str, float] = field(default_factory=dict)
+    intervals: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.snapshot.ipc
+
+    @property
+    def l2_mpki(self) -> float:
+        return self.snapshot.l2_mpki
+
+
+@dataclass
+class WorkloadResult:
+    """One multi-programmed workload under one LLC policy."""
+
+    workload_name: str
+    benchmarks: tuple[str, ...]
+    config_name: str
+    policy: str
+    snapshots: list[CoreSnapshot]
+    intervals: int = 0
+    policy_state: str = ""
+
+    @property
+    def ipcs(self) -> list[float]:
+        return [s.ipc for s in self.snapshots]
+
+    @property
+    def llc_mpkis(self) -> list[float]:
+        return [s.llc_mpki for s in self.snapshots]
+
+    def per_app(self) -> dict[str, CoreSnapshot]:
+        """Benchmark-name -> snapshot (first instance wins on duplicates)."""
+        out: dict[str, CoreSnapshot] = {}
+        for name, snap in zip(self.benchmarks, self.snapshots):
+            out.setdefault(name, snap)
+        return out

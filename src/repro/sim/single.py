@@ -1,0 +1,113 @@
+"""Single-application runs: IPC_alone baselines and Table 4 characterisation.
+
+``run_alone`` executes one benchmark on a single-core instance of the
+platform (the whole LLC to itself), which is how the paper obtains the
+IPC_alone denominators of the weighted-speed-up metric and the standalone
+Footprint-number / L2-MPKI columns of Table 4.
+
+``AloneCache`` memoises those runs per (benchmark, configuration): a 16-core
+experiment suite reuses the same 36 baselines across every workload and
+policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.monitor import MonitoredPolicy
+from repro.cpu.engine import MulticoreEngine
+from repro.sim.build import build_hierarchy, geometry_of, resolve_policy
+from repro.sim.config import SystemConfig
+from repro.sim.results import SingleRunResult
+from repro.trace.benchmarks import BENCHMARKS, TraceSource
+
+
+def run_alone(
+    benchmark: str,
+    config: SystemConfig,
+    *,
+    policy: str = "tadrrip",
+    quota: int = 30_000,
+    warmup: int = 5_000,
+    master_seed: int = 0,
+    monitor: bool = False,
+    monitor_all_sets: bool = False,
+) -> SingleRunResult:
+    """Run *benchmark* alone; optionally attach passive footprint monitors."""
+    spec = BENCHMARKS.get(benchmark)
+    if spec is None:
+        raise ValueError(f"unknown benchmark {benchmark!r}")
+    solo_config = config.with_cores(1)
+    llc_policy = resolve_policy(policy, solo_config)
+    monitored: MonitoredPolicy | None = None
+    if monitor:
+        configs = {"sampled": (solo_config.monitor_sets, solo_config.monitor_entries)}
+        if monitor_all_sets:
+            # The Fpn(A) column: every set monitored, 32-entry arrays (the
+            # paper uses 32 entries "only to report the upper-bound").
+            configs["all"] = (solo_config.llc.num_sets, 32)
+        monitored = MonitoredPolicy(
+            llc_policy, configs, solo_config.partial_tag_bits
+        )
+        llc_policy = monitored
+    hierarchy = build_hierarchy(solo_config, llc_policy)
+    source = TraceSource(spec, geometry_of(solo_config), 0, master_seed)
+    engine = MulticoreEngine(
+        hierarchy,
+        [source],
+        quota_per_core=quota,
+        interval_misses=solo_config.effective_interval,
+        warmup_accesses=warmup,
+    )
+    snapshots = engine.run()
+    footprints: dict[str, float] = {}
+    if monitored is not None:
+        footprints = {
+            label: monitored.mean_footprint(label, 0) for label in monitored.samplers
+        }
+    return SingleRunResult(
+        benchmark=benchmark,
+        config_name=solo_config.name,
+        policy=hierarchy.llc.policy.describe(),
+        snapshot=snapshots[0],
+        footprints=footprints,
+        intervals=engine.intervals_completed,
+    )
+
+
+class AloneCache:
+    """Memoised IPC_alone lookups shared by an experiment suite."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        policy: str = "tadrrip",
+        quota: int = 30_000,
+        warmup: int = 5_000,
+        master_seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.quota = quota
+        self.warmup = warmup
+        self.master_seed = master_seed
+        self._results: dict[str, SingleRunResult] = {}
+
+    def result(self, benchmark: str) -> SingleRunResult:
+        cached = self._results.get(benchmark)
+        if cached is None:
+            cached = run_alone(
+                benchmark,
+                self.config,
+                policy=self.policy,
+                quota=self.quota,
+                warmup=self.warmup,
+                master_seed=self.master_seed,
+            )
+            self._results[benchmark] = cached
+        return cached
+
+    def ipc(self, benchmark: str) -> float:
+        return self.result(benchmark).ipc
+
+    def ipcs(self, benchmarks: tuple[str, ...]) -> list[float]:
+        return [self.ipc(b) for b in benchmarks]

@@ -1,0 +1,58 @@
+"""Synthetic benchmark suite and workload composition.
+
+:mod:`repro.trace.patterns` — address-stream shapes (cyclic, shuffled,
+random, mixed ``{a}^k{s}^d``, strided).
+:mod:`repro.trace.benchmarks` — the 38 named Table 4 stand-ins and the
+per-core :class:`~repro.trace.benchmarks.TraceSource` generator.
+:mod:`repro.trace.workloads` — the Table 6 multi-programmed suites.
+"""
+
+from repro.trace.benchmarks import (
+    BENCHMARKS,
+    CLASSES,
+    THRASHING_BENCHMARKS,
+    BenchmarkSpec,
+    Geometry,
+    TraceSource,
+    benchmarks_by_class,
+)
+from repro.trace.patterns import (
+    PATTERN_KINDS,
+    AccessPattern,
+    CyclicPattern,
+    MixedPattern,
+    RandomPattern,
+    ShuffledCyclicPattern,
+    StridedPattern,
+    make_pattern,
+)
+from repro.trace.workloads import (
+    TABLE6,
+    SuiteSpec,
+    Workload,
+    design_suite,
+    validate_workload,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "CLASSES",
+    "THRASHING_BENCHMARKS",
+    "BenchmarkSpec",
+    "Geometry",
+    "TraceSource",
+    "benchmarks_by_class",
+    "PATTERN_KINDS",
+    "AccessPattern",
+    "CyclicPattern",
+    "MixedPattern",
+    "RandomPattern",
+    "ShuffledCyclicPattern",
+    "StridedPattern",
+    "make_pattern",
+    "TABLE6",
+    "SuiteSpec",
+    "Workload",
+    "design_suite",
+    "validate_workload",
+]

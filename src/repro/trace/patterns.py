@@ -1,0 +1,178 @@
+"""Address-stream pattern primitives.
+
+Each pattern is a stateful generator of *block-address* chunks (NumPy
+vectorised, per the HPC guides: bulk generation is the vectorisable part of
+a cache simulator).  Patterns express the canonical access behaviours the
+replacement-policy literature distinguishes:
+
+* :class:`CyclicPattern` — a sequential walk over a working set; reuse
+  distance equals the working-set size, the classic LRU-thrashing shape.
+* :class:`ShuffledCyclicPattern` — the same reuse distance but in a
+  data-dependent (pointer-chase-like) order, defeating stride prefetchers.
+* :class:`RandomPattern` — uniform references within a working set;
+  smooth, distance-free locality.
+* :class:`MixedPattern` — TA-DRRIP's ``{a1..ah}^k {s1..sd}`` shape: a small
+  recency-friendly hot set interleaved with scan bursts; the paper
+  attributes this to its Low-priority applications.
+* :class:`StridedPattern` — a strided sweep, concentrating pressure on a
+  subset of sets.
+
+All patterns are deterministic functions of their constructor arguments
+plus the supplied :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AccessPattern:
+    """Interface: produce the next *n* block addresses (within [0, span))."""
+
+    #: Number of distinct blocks the pattern can touch.
+    span: int
+
+    def chunk(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restart from the initial position (used on re-execution)."""
+
+
+class CyclicPattern(AccessPattern):
+    """Sequential cyclic walk: 0, s, 2s, ... (mod span)."""
+
+    def __init__(self, span: int, stride: int = 1) -> None:
+        if span < 1 or stride < 1:
+            raise ValueError("span and stride must be positive")
+        self.span = span
+        self.stride = stride
+        self._pos = 0
+
+    def chunk(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        idx = (self._pos + np.arange(n, dtype=np.int64) * self.stride) % self.span
+        self._pos = int((self._pos + n * self.stride) % self.span)
+        return idx
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class ShuffledCyclicPattern(AccessPattern):
+    """Cyclic walk through a fixed random permutation (pointer chase)."""
+
+    def __init__(self, span: int, seed: int = 1) -> None:
+        if span < 1:
+            raise ValueError("span must be positive")
+        self.span = span
+        perm_rng = np.random.default_rng(seed)
+        self._perm = perm_rng.permutation(span).astype(np.int64)
+        self._pos = 0
+
+    def chunk(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        idx = (self._pos + np.arange(n, dtype=np.int64)) % self.span
+        self._pos = int((self._pos + n) % self.span)
+        return self._perm[idx]
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class RandomPattern(AccessPattern):
+    """Uniform random references within the working set."""
+
+    def __init__(self, span: int) -> None:
+        if span < 1:
+            raise ValueError("span must be positive")
+        self.span = span
+
+    def chunk(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.span, size=n, dtype=np.int64)
+
+
+class MixedPattern(AccessPattern):
+    """TA-DRRIP's mixed shape: k hot references, then a d-long scan burst.
+
+    ``{a1..ah}^k {s1..sd}``: ``k`` references drawn from a hot set of ``h``
+    blocks, then ``d`` consecutive scan addresses from a large scan region,
+    repeating.  With ``k`` slightly greater than ``d`` (as the paper
+    describes for Low-priority applications) the hot set stays live while
+    the scan provides a steady stream of single-use lines.
+    """
+
+    def __init__(self, hot_blocks: int, k: int, scan_blocks: int, d: int) -> None:
+        if min(hot_blocks, k, scan_blocks, d) < 1:
+            raise ValueError("all MixedPattern parameters must be positive")
+        self.hot_blocks = hot_blocks
+        self.k = k
+        self.scan_blocks = scan_blocks
+        self.d = d
+        self.span = hot_blocks + scan_blocks
+        self._scan_pos = 0
+        self._phase = 0  # position within the k+d period
+
+    def chunk(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        period = self.k + self.d
+        phase = (self._phase + np.arange(n, dtype=np.int64)) % period
+        is_hot = phase < self.k
+        out = np.empty(n, dtype=np.int64)
+        n_hot = int(is_hot.sum())
+        out[is_hot] = rng.integers(0, self.hot_blocks, size=n_hot, dtype=np.int64)
+        n_scan = n - n_hot
+        scan_idx = (self._scan_pos + np.arange(n_scan, dtype=np.int64)) % self.scan_blocks
+        out[~is_hot] = self.hot_blocks + scan_idx
+        self._scan_pos = int((self._scan_pos + n_scan) % self.scan_blocks)
+        self._phase = int((self._phase + n) % period)
+        return out
+
+    def reset(self) -> None:
+        self._scan_pos = 0
+        self._phase = 0
+
+
+class StridedPattern(AccessPattern):
+    """Strided sweep over a region: touches every ``stride``-th block.
+
+    Exercises non-uniform set pressure (the reason Footprint-number must be
+    computed per set and averaged, and the XOR bank mapping exists).
+    """
+
+    def __init__(self, span: int, stride: int) -> None:
+        if span < 1 or stride < 1:
+            raise ValueError("span and stride must be positive")
+        self.span = span
+        self.stride = stride
+        self._count = span // stride or 1
+        self._pos = 0
+
+    def chunk(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        idx = (self._pos + np.arange(n, dtype=np.int64)) % self._count
+        self._pos = int((self._pos + n) % self._count)
+        return idx * self.stride
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+PATTERN_KINDS = ("cyclic", "shuffled", "random", "mixed", "strided")
+
+
+def make_pattern(kind: str, span: int, *, seed: int = 1, **kwargs) -> AccessPattern:
+    """Factory over :data:`PATTERN_KINDS` used by the benchmark specs."""
+    if kind == "cyclic":
+        return CyclicPattern(span, **kwargs)
+    if kind == "shuffled":
+        return ShuffledCyclicPattern(span, seed=seed)
+    if kind == "random":
+        return RandomPattern(span)
+    if kind == "mixed":
+        hot = max(2, span // 16)
+        return MixedPattern(
+            hot_blocks=kwargs.get("hot_blocks", hot),
+            k=kwargs.get("k", 12),
+            scan_blocks=kwargs.get("scan_blocks", max(1, span - hot)),
+            d=kwargs.get("d", 8),
+        )
+    if kind == "strided":
+        return StridedPattern(span, kwargs.get("stride", 4))
+    raise ValueError(f"unknown pattern kind {kind!r}; options: {PATTERN_KINDS}")

@@ -1,0 +1,149 @@
+"""Multi-programmed workload composition (Table 6).
+
+The paper builds its workload suites by random sampling under composition
+constraints:
+
+=========  ==========  ========================
+Study      #Workloads  Composition
+=========  ==========  ========================
+4-core     120         min 1 thrashing
+8-core     80          min 1 from each class
+16-core    60          min 2 from each class
+20-core    40          min 3 from each class
+24-core    40          min 3 from each class
+=========  ==========  ========================
+
+``design_suite`` reproduces those rules with seeded sampling (without
+replacement within a workload — 36 benchmarks cover up to 24 cores), and
+``TABLE6`` records the paper's suite definitions so benches can subsample
+deterministically under a reduced budget (``REPRO_SCALE``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.benchmarks import BENCHMARKS, CLASSES, THRASHING_BENCHMARKS, benchmarks_by_class
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """One row of Table 6."""
+
+    cores: int
+    num_workloads: int
+    composition: str  # human-readable constraint
+    min_per_class: int  # 0 means "min 1 thrashing" instead
+
+
+TABLE6: dict[int, SuiteSpec] = {
+    4: SuiteSpec(4, 120, "Min 1 thrashing", 0),
+    8: SuiteSpec(8, 80, "Min 1 from each class", 1),
+    16: SuiteSpec(16, 60, "Min 2 from each class", 2),
+    20: SuiteSpec(20, 40, "Min 3 from each class", 3),
+    24: SuiteSpec(24, 40, "Min 3 from each class", 3),
+}
+
+
+class Workload:
+    """An ordered assignment of benchmarks to cores."""
+
+    def __init__(self, name: str, benchmarks: tuple[str, ...]) -> None:
+        unknown = [b for b in benchmarks if b not in BENCHMARKS]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {unknown}")
+        self.name = name
+        self.benchmarks = benchmarks
+
+    @property
+    def cores(self) -> int:
+        return len(self.benchmarks)
+
+    def thrashing_cores(self) -> list[int]:
+        """Core indices running thrashing (Footprint-number >= 16) apps."""
+        return [
+            i for i, b in enumerate(self.benchmarks) if BENCHMARKS[b].thrashing
+        ]
+
+    def class_counts(self) -> dict[str, int]:
+        counts = {klass: 0 for klass in CLASSES}
+        for b in self.benchmarks:
+            counts[BENCHMARKS[b].paper_class] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workload({self.name}: {','.join(self.benchmarks)})"
+
+
+def _compose_one(
+    rng: np.random.Generator, cores: int, min_per_class: int
+) -> tuple[str, ...]:
+    """Draw one workload satisfying the Table 6 constraint."""
+    chosen: list[str] = []
+    if min_per_class == 0:
+        # 4-core rule: at least one thrashing application.
+        pick = rng.choice(len(THRASHING_BENCHMARKS))
+        chosen.append(THRASHING_BENCHMARKS[pick])
+    else:
+        for klass in CLASSES:
+            pool = benchmarks_by_class(klass)
+            picks = rng.choice(len(pool), size=min_per_class, replace=False)
+            chosen.extend(pool[i] for i in picks)
+    if len(chosen) > cores:
+        raise ValueError(
+            f"constraint needs {len(chosen)} slots but workload has {cores} cores"
+        )
+    remaining = [b for b in BENCHMARKS if b not in chosen]
+    fill = rng.choice(len(remaining), size=cores - len(chosen), replace=False)
+    chosen.extend(remaining[i] for i in fill)
+    # Shuffle so constrained picks are not always on the low core ids.
+    order = rng.permutation(len(chosen))
+    return tuple(chosen[i] for i in order)
+
+
+def design_suite(
+    cores: int,
+    num_workloads: int | None = None,
+    master_seed: int = 0,
+) -> list[Workload]:
+    """Generate the Table 6 suite for *cores* (optionally subsampled).
+
+    Deterministic in ``master_seed``; asking for fewer workloads than the
+    paper's count yields a prefix of the full suite, so scaled-down runs
+    are strict subsets of full runs.
+    """
+    spec = TABLE6.get(cores)
+    if spec is None:
+        raise ValueError(f"no Table 6 suite for {cores} cores; options: {sorted(TABLE6)}")
+    count = spec.num_workloads if num_workloads is None else num_workloads
+    if count > spec.num_workloads:
+        raise ValueError(
+            f"paper suite has {spec.num_workloads} workloads; {count} requested"
+        )
+    rng = np.random.default_rng(derive_seed(master_seed, f"workloads/{cores}core"))
+    suite = []
+    for i in range(spec.num_workloads):
+        mix = _compose_one(rng, cores, spec.min_per_class)
+        suite.append(Workload(f"{cores}core-{i:03d}", mix))
+    return suite[:count]
+
+
+def validate_workload(workload: Workload) -> None:
+    """Assert the Table 6 constraint its suite promises (test helper)."""
+    spec = TABLE6.get(workload.cores)
+    if spec is None:
+        return
+    if spec.min_per_class == 0:
+        if not workload.thrashing_cores():
+            raise AssertionError(f"{workload.name} lacks a thrashing app")
+        return
+    counts = workload.class_counts()
+    for klass in CLASSES:
+        if counts[klass] < spec.min_per_class:
+            raise AssertionError(
+                f"{workload.name} has {counts[klass]} {klass} apps, "
+                f"needs >= {spec.min_per_class}"
+            )

@@ -1,0 +1,75 @@
+"""Bit manipulation and cache-geometry helpers.
+
+All addresses in the simulator are *block addresses*: byte addresses already
+shifted right by ``log2(block_size)``.  The helpers here split block
+addresses into (tag, set index), fold tags down to partial tags (ADAPT's
+monitor stores only the top 10 tag bits), and compute XOR-permutation bank
+indices in the style of Zhang, Zhu and Zhang (MICRO 2000), which the paper's
+baseline DRAM uses ("XOR-mapped").
+"""
+
+from __future__ import annotations
+
+
+def is_pow2(value: int) -> bool:
+    """Return ``True`` when *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of a power of two.
+
+    Raises :class:`ValueError` for non powers of two so that cache geometry
+    mistakes fail loudly at construction time instead of silently aliasing
+    sets.
+    """
+    if not is_pow2(value):
+        raise ValueError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def block_align(byte_address: int, block_size: int) -> int:
+    """Convert a byte address to a block address."""
+    return byte_address >> ilog2(block_size)
+
+
+def split_address(block_address: int, num_sets: int) -> tuple[int, int]:
+    """Split a block address into ``(tag, set_index)``.
+
+    The set index is the low ``log2(num_sets)`` bits of the block address,
+    the tag is everything above it — the standard set-associative mapping.
+    """
+    set_bits = ilog2(num_sets)
+    return block_address >> set_bits, block_address & (num_sets - 1)
+
+
+def xor_fold(value: int, width: int) -> int:
+    """Fold *value* down to *width* bits by XOR-ing ``width``-bit chunks.
+
+    Used to derive compact signatures (e.g. SHiP's 14-bit PC signature and
+    ADAPT's 10-bit partial tags) that still mix high-order bits in, so two
+    nearby addresses rarely collide.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    mask = (1 << width) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= width
+    return folded
+
+
+def xor_bank_index(block_address: int, num_banks: int, *, entropy_shift: int = 8) -> int:
+    """Permutation-based (XOR-mapped) bank index.
+
+    Mixes a higher-order address slice into the naive low-order bank bits,
+    following the permutation-based interleaving of Zhang et al. (MICRO
+    2000), which the paper's memory model cites ([28]).  This spreads
+    strided streams across banks and avoids pathological row-buffer
+    conflicts for power-of-two strides.
+    """
+    bank_bits = ilog2(num_banks)
+    low = block_address & (num_banks - 1)
+    high = (block_address >> entropy_shift) & (num_banks - 1)
+    return (low ^ high) & ((1 << bank_bits) - 1)

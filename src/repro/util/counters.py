@@ -1,0 +1,118 @@
+"""Saturating counters and deterministic probabilistic tickers.
+
+Hardware proposals in the DIP/RRIP lineage rely on two primitives:
+
+* **saturating counters** — PSEL duelling counters, SHiP's SHCT entries,
+  ADAPT's per-set unique-block counters; and
+* **"1 out of N" events** — BIP/BRRIP's epsilon insertions, ADAPT's
+  1/16th and 1/32nd discrete insertion exceptions.
+
+Real hardware uses free-running counters rather than true randomness, and a
+deterministic ticker keeps every simulation exactly reproducible, so we
+model both that way.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An ``n``-bit saturating counter.
+
+    ``increment``/``decrement`` clamp at the representable range.  The
+    counter can be biased at construction (set-duelling PSEL counters start
+    at their midpoint).
+    """
+
+    __slots__ = ("bits", "value", "max_value")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        if not 0 <= initial <= self.max_value:
+            raise ValueError(f"initial {initial} out of range for {bits}-bit counter")
+        self.value = initial
+
+    def increment(self, amount: int = 1) -> int:
+        self.value = min(self.max_value, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self.max_value:
+            raise ValueError("reset value out of range")
+        self.value = value
+
+    @property
+    def saturated_high(self) -> bool:
+        return self.value == self.max_value
+
+    @property
+    def saturated_low(self) -> bool:
+        return self.value == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+class PselCounter(SaturatingCounter):
+    """A set-duelling policy-selection (PSEL) counter.
+
+    DIP and (TA-)DRRIP pick between two competing policies with a counter
+    that misses on one group of dedicated sets increment and misses on the
+    other group decrement.  The winning policy for follower sets is read
+    from the counter's most significant bit: values at or above the midpoint
+    select the *second* policy.
+
+    The paper's configuration is a 10-bit counter with threshold 512.
+    Initialised one below the threshold (MSB 0), so the *first* policy is
+    the default until the duel produces evidence — the DIP convention.
+    """
+
+    def __init__(self, bits: int = 10) -> None:
+        super().__init__(bits, initial=(1 << bits) // 2 - 1)
+        self.threshold = (1 << bits) // 2
+
+    @property
+    def selects_second(self) -> bool:
+        """True when the counter currently favours the second policy."""
+        return self.value >= self.threshold
+
+
+class FractionTicker:
+    """Deterministic "1 out of N" event source.
+
+    ``tick()`` returns ``True`` exactly once every *denominator* calls (on
+    the first call of each window by default, matching a free-running
+    hardware counter that fires on wrap-around).  Used for BIP/BRRIP's
+    1/32 epsilon insertions and ADAPT's 1/16 and 1/32 exceptions, keeping
+    runs bit-for-bit reproducible.
+    """
+
+    __slots__ = ("denominator", "_count", "_phase")
+
+    def __init__(self, denominator: int, *, phase: int = 0) -> None:
+        if denominator < 1:
+            raise ValueError("denominator must be >= 1")
+        if not 0 <= phase < denominator:
+            raise ValueError("phase must be in [0, denominator)")
+        self.denominator = denominator
+        self._phase = phase
+        self._count = 0
+
+    def tick(self) -> bool:
+        fired = self._count == self._phase
+        self._count += 1
+        if self._count == self.denominator:
+            self._count = 0
+        return fired
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FractionTicker(1/{self.denominator}, count={self._count})"

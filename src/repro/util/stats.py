@@ -1,0 +1,48 @@
+"""Small statistics helpers used by the multi-core throughput metrics.
+
+The paper evaluates with weighted speed-up plus the harmonic mean of
+normalized IPCs and the arithmetic/geometric/harmonic means of raw IPCs
+(Table 7), citing Michaud's "Demystifying multicore throughput metrics".
+The mean implementations live here; the metric definitions that combine
+them with IPC_alone baselines live in :mod:`repro.metrics.throughput`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def _validate(values: Sequence[float], *, positive: bool) -> None:
+    if len(values) == 0:
+        raise ValueError("mean of an empty sequence is undefined")
+    if positive and any(v <= 0 for v in values):
+        raise ValueError("all values must be strictly positive")
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    _validate(values, positive=False)
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    _validate(values, positive=True)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    _validate(values, positive=True)
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def normalize_series(values: Sequence[float], baseline: Sequence[float]) -> list[float]:
+    """Element-wise ratio ``values[i] / baseline[i]``.
+
+    Used to normalize per-application IPCs against their solo-execution
+    baseline, and per-workload metrics against the TA-DRRIP baseline.
+    """
+    if len(values) != len(baseline):
+        raise ValueError("series lengths differ")
+    if any(b <= 0 for b in baseline):
+        raise ValueError("baseline values must be strictly positive")
+    return [v / b for v, b in zip(values, baseline)]

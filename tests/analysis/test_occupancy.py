@@ -1,0 +1,42 @@
+"""Tests for LLC occupancy profiling."""
+
+import pytest
+
+from repro.analysis.occupancy import measure_occupancy
+from repro.trace.workloads import Workload
+
+MIX = Workload("occ", ("lbm", "bzip", "deal", "omn"))
+
+
+class TestOccupancy:
+    def test_shares_are_fractions_summing_at_most_one(self, tiny_config):
+        profile = measure_occupancy(
+            MIX, tiny_config, "lru", quota=3000, warmup=500, sample_every=500
+        )
+        assert profile.samples > 0
+        assert all(0.0 <= s <= 1.0 for s in profile.mean_share)
+        assert sum(profile.mean_share) <= 1.0 + 1e-9
+
+    def test_lru_lets_the_thrasher_dominate(self, tiny_config):
+        profile = measure_occupancy(
+            MIX, tiny_config, "lru", quota=3000, warmup=500, sample_every=500
+        )
+        shares = profile.by_app()
+        # Under LRU the thrasher's MRU insertions appropriate the cache.
+        assert shares["lbm"] > shares["deal"]
+
+    def test_adapt_shrinks_the_thrasher_share(self, tiny_config):
+        lru = measure_occupancy(
+            MIX, tiny_config, "lru", quota=4000, warmup=1000, sample_every=500
+        ).by_app()
+        adapt = measure_occupancy(
+            MIX, tiny_config, "adapt_bp32", quota=4000, warmup=1000, sample_every=500
+        ).by_app()
+        assert adapt["lbm"] < lru["lbm"]
+
+    def test_render(self, tiny_config):
+        profile = measure_occupancy(
+            MIX, tiny_config, "lru", quota=1500, warmup=0, sample_every=500
+        )
+        text = profile.render()
+        assert "occupancy" in text and "lbm" in text

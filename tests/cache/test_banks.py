@@ -1,0 +1,46 @@
+"""Unit tests for the banked LLC latency model."""
+
+import pytest
+
+from repro.cache.banks import BankedLatencyModel
+
+
+class TestBankedLatencyModel:
+    def test_uncontended_access_pays_fixed_latency(self):
+        banks = BankedLatencyModel(num_banks=4, latency=24.0)
+        assert banks.access(0x100, now=10.0) == 34.0
+
+    def test_same_bank_back_to_back_queues(self):
+        banks = BankedLatencyModel(num_banks=4, latency=24.0, occupancy=4.0)
+        addr = 0x40
+        first = banks.access(addr, 0.0)
+        second = banks.access(addr, 0.0)
+        assert second == first + 4.0
+        assert banks.conflicts == 1
+
+    def test_different_banks_do_not_conflict(self):
+        banks = BankedLatencyModel(num_banks=4, latency=24.0)
+        a, b = 0, 1
+        assert banks.bank_of(a) != banks.bank_of(b)
+        banks.access(a, 0.0)
+        done = banks.access(b, 0.0)
+        assert done == 24.0
+        assert banks.conflicts == 0
+
+    def test_conflict_rate(self):
+        banks = BankedLatencyModel(num_banks=2, latency=1.0)
+        banks.access(0, 0.0)
+        banks.access(0, 0.0)
+        assert banks.conflict_rate() == pytest.approx(0.5)
+
+    def test_bank_frees_after_occupancy(self):
+        banks = BankedLatencyModel(num_banks=4, latency=24.0, occupancy=4.0)
+        banks.access(0x40, 0.0)
+        done = banks.access(0x40, 100.0)
+        assert done == 124.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankedLatencyModel(3, 1.0)
+        with pytest.raises(ValueError):
+            BankedLatencyModel(4, 1.0, occupancy=0.0)

@@ -1,0 +1,138 @@
+"""Unit tests for the set-associative cache against the LRU policy."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.policies.lru import LruPolicy
+
+
+def make_cache(num_sets=4, ways=2, cores=2):
+    return SetAssociativeCache("test", num_sets, ways, LruPolicy(), num_cores=cores)
+
+
+class TestBasicAccess:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        first = cache.access(0, 0x100)
+        assert not first.hit
+        second = cache.access(0, 0x100)
+        assert second.hit
+
+    def test_fills_invalid_ways_before_evicting(self):
+        cache = make_cache(num_sets=1, ways=4, cores=1)
+        for i in range(4):
+            result = cache.access(0, i)
+            assert result.victim_addr == -1
+        assert sorted(cache.resident_blocks(0)) == [0, 1, 2, 3]
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(num_sets=1, ways=2, cores=1)
+        cache.access(0, 0)
+        cache.access(0, 1)
+        cache.access(0, 0)  # 0 is now MRU
+        result = cache.access(0, 2)  # must evict 1
+        assert result.victim_addr == 1
+        assert cache.probe(0) and cache.probe(2) and not cache.probe(1)
+
+    def test_set_mapping_low_bits(self):
+        cache = make_cache(num_sets=4, ways=1, cores=1)
+        cache.access(0, 0b101)  # set 1
+        assert cache.resident_blocks(1) == [0b101]
+        assert cache.resident_blocks(0) == []
+
+    def test_same_set_distinct_tags_coexist(self):
+        cache = make_cache(num_sets=4, ways=2, cores=1)
+        cache.access(0, 4 + 1)  # set 1, tag 1
+        cache.access(0, 8 + 1)  # set 1, tag 2
+        assert cache.probe(5) and cache.probe(9)
+
+
+class TestDirtyAndWriteback:
+    def test_write_marks_dirty_and_eviction_reports_it(self):
+        cache = make_cache(num_sets=1, ways=1, cores=1)
+        cache.access(0, 0, is_write=True)
+        result = cache.access(0, 1)
+        assert result.victim_addr == 0
+        assert result.victim_dirty
+
+    def test_clean_eviction_not_dirty(self):
+        cache = make_cache(num_sets=1, ways=1, cores=1)
+        cache.access(0, 0, is_write=False)
+        result = cache.access(0, 1)
+        assert not result.victim_dirty
+
+    def test_write_hit_dirties_existing_line(self):
+        cache = make_cache(num_sets=1, ways=1, cores=1)
+        cache.access(0, 0)
+        cache.access(0, 0, is_write=True)
+        result = cache.access(0, 1)
+        assert result.victim_dirty
+
+
+class TestStats:
+    def test_per_core_attribution(self):
+        cache = make_cache(num_sets=4, ways=2, cores=2)
+        cache.access(0, 0x10)
+        cache.access(1, 0x20)
+        cache.access(1, 0x20)
+        assert cache.stats.demand_misses[0] == 1
+        assert cache.stats.demand_misses[1] == 1
+        assert cache.stats.demand_hits[1] == 1
+        assert cache.stats.demand_hits[0] == 0
+
+    def test_occupancy_tracks_owners(self):
+        cache = make_cache(num_sets=1, ways=2, cores=2)
+        cache.access(0, 0)
+        cache.access(1, 1)
+        assert cache.occupancy == [1, 1]
+        cache.access(1, 2)  # evicts core 0's line (LRU)
+        assert cache.occupancy == [0, 2]
+
+    def test_eviction_counts_victim_owner(self):
+        cache = make_cache(num_sets=1, ways=1, cores=2)
+        cache.access(0, 0)
+        cache.access(1, 1)
+        assert cache.stats.evictions[0] == 1
+        assert cache.stats.evictions[1] == 0
+
+    def test_writeback_arrival_counter(self):
+        cache = make_cache()
+        cache.access(0, 0x40, is_write=True, is_demand=False)
+        assert cache.stats.writeback_arrivals[0] == 1
+        assert cache.stats.demand_accesses(0) == 0
+
+    def test_miss_rate(self):
+        cache = make_cache(num_sets=1, ways=2, cores=1)
+        cache.access(0, 0)
+        cache.access(0, 0)
+        assert cache.stats.miss_rate(0) == pytest.approx(0.5)
+
+
+class TestInvalidate:
+    def test_invalidate_removes_line(self):
+        cache = make_cache()
+        cache.access(0, 0x30)
+        assert cache.invalidate(0x30)
+        assert not cache.probe(0x30)
+        assert not cache.invalidate(0x30)
+
+    def test_invalidate_updates_occupancy(self):
+        cache = make_cache()
+        cache.access(0, 0x30)
+        cache.invalidate(0x30)
+        assert cache.occupancy[0] == 0
+
+
+class TestGeometryValidation:
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            make_cache(num_sets=3)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            make_cache(ways=0)
+
+    def test_capacity(self):
+        cache = make_cache(num_sets=4, ways=2)
+        assert cache.num_blocks == 8
+        assert cache.capacity_bytes(64) == 512

@@ -1,0 +1,100 @@
+"""Integration-style tests for the three-level hierarchy."""
+
+import pytest
+
+from repro.sim.build import build_hierarchy
+
+
+@pytest.fixture
+def hierarchy(tiny_config):
+    return build_hierarchy(tiny_config, "lru")
+
+
+class TestLatencies:
+    def test_l1_hit_latency(self, hierarchy):
+        hierarchy.access(0, 0x1000, 0, False, 0.0)
+        outcome = hierarchy.access(0, 0x1000, 0, False, 100.0)
+        assert outcome.l1_hit
+        assert outcome.latency == hierarchy.l1_latency
+
+    def test_miss_latency_ordering(self, hierarchy):
+        cold = hierarchy.access(0, 0x2000, 0, False, 0.0)
+        assert not cold.l1_hit and not cold.l2_hit and not cold.llc_hit
+        assert cold.llc_demand_miss
+        # A cold miss pays at least DRAM row-conflict latency.
+        assert cold.latency >= 340.0
+
+    def test_l2_hit_between(self, hierarchy):
+        hierarchy.access(0, 0x3000, 0, False, 0.0)
+        # Evict from tiny L1 by filling its set with conflicting lines.
+        l1_sets = hierarchy.l1s[0].num_sets
+        for i in range(1, 10):
+            hierarchy.access(0, 0x3000 + i * l1_sets, 0, False, float(i))
+        outcome = hierarchy.access(0, 0x3000, 0, False, 100.0)
+        assert outcome.l2_hit or outcome.llc_hit
+        assert outcome.latency < 340.0
+
+
+class TestContentCorrectness:
+    def test_fill_propagates_to_all_levels(self, hierarchy):
+        hierarchy.access(0, 0x4000, 0, False, 0.0)
+        assert hierarchy.l1s[0].probe(0x4000)
+        assert hierarchy.l2s[0].probe(0x4000)
+        assert hierarchy.llc.probe(0x4000)
+
+    def test_private_caches_are_private(self, hierarchy):
+        hierarchy.access(0, 0x5000, 0, False, 0.0)
+        assert not hierarchy.l1s[1].probe(0x5000)
+        assert not hierarchy.l2s[1].probe(0x5000)
+
+    def test_llc_shared_across_cores(self, hierarchy):
+        hierarchy.access(0, 0x6000, 0, False, 0.0)
+        outcome = hierarchy.access(1, 0x6000, 0, False, 10.0)
+        # Core 1 misses L1/L2 but hits the shared LLC.
+        assert outcome.llc_hit
+
+    def test_dirty_data_survives_l1_eviction(self, hierarchy):
+        hierarchy.access(0, 0x7000, 0, True, 0.0)
+        l1_sets = hierarchy.l1s[0].num_sets
+        # Push the dirty line out of L1.
+        for i in range(1, 12):
+            hierarchy.access(0, 0x7000 + i * l1_sets, 0, False, float(i))
+        assert not hierarchy.l1s[0].probe(0x7000)
+        # The write-back landed in L2 (or below) as dirty content.
+        assert hierarchy.l2s[0].probe(0x7000) or hierarchy.llc.probe(0x7000)
+
+
+class TestWritebackTraffic:
+    def test_dirty_llc_eviction_reaches_dram(self, tiny_config):
+        h = build_hierarchy(tiny_config, "lru")
+        # Write a lot of distinct lines so dirty LLC victims appear.
+        span = h.llc.num_blocks * 3
+        for i in range(span):
+            h.access(i % 4, i, 0, True, float(i))
+        assert h.dram.writes > 0
+
+    def test_demand_misses_counted_per_core(self, hierarchy):
+        hierarchy.access(2, 0x9000, 0, False, 0.0)
+        assert hierarchy.llc_demand_misses(2) == 1
+        assert hierarchy.total_llc_demand_misses() == 1
+
+
+class TestPrefetch:
+    def test_next_line_prefetch_installs_neighbour(self, tiny_config):
+        from dataclasses import replace
+
+        config = replace(tiny_config, l1_next_line_prefetch=True)
+        h = build_hierarchy(config, "lru")
+        h.access(0, 0x800, 0, False, 0.0)
+        assert h.prefetches_issued == 1
+        assert h.l1s[0].probe(0x801)
+
+    def test_prefetches_are_not_demand(self, tiny_config):
+        from dataclasses import replace
+
+        config = replace(tiny_config, l1_next_line_prefetch=True)
+        h = build_hierarchy(config, "lru")
+        h.access(0, 0x800, 0, False, 0.0)
+        # Exactly one demand miss at the LLC despite two fills.
+        assert h.llc.stats.demand_misses[0] == 1
+        assert h.llc.stats.other_misses[0] == 1

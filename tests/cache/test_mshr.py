@@ -1,0 +1,50 @@
+"""Unit tests for the MSHR capacity model."""
+
+from repro.cache.mshr import Mshr
+
+
+class TestMshr:
+    def test_reserve_when_free_starts_now(self):
+        mshr = Mshr(entries=2)
+        assert mshr.reserve(0x1, now=10.0) == 10.0
+
+    def test_full_mshr_delays_to_oldest_completion(self):
+        mshr = Mshr(entries=2)
+        for block, done in ((1, 100.0), (2, 150.0)):
+            start = mshr.reserve(block, 0.0)
+            mshr.complete_at(block, done)
+        start = mshr.reserve(3, now=0.0)
+        assert start == 100.0
+        assert mshr.stalls == 1
+
+    def test_entries_expire(self):
+        mshr = Mshr(entries=1)
+        mshr.reserve(1, 0.0)
+        mshr.complete_at(1, 50.0)
+        assert mshr.outstanding(49.0) == 1
+        assert mshr.outstanding(50.0) == 0
+        # After expiry a new reservation is immediate.
+        assert mshr.reserve(2, 60.0) == 60.0
+        assert mshr.stalls == 0
+
+    def test_secondary_miss_merges(self):
+        mshr = Mshr(entries=4)
+        mshr.reserve(7, 0.0)
+        mshr.complete_at(7, 200.0)
+        assert mshr.lookup(7, now=10.0) == 200.0
+        assert mshr.merged == 1
+
+    def test_lookup_after_completion_misses(self):
+        mshr = Mshr(entries=4)
+        mshr.reserve(7, 0.0)
+        mshr.complete_at(7, 200.0)
+        assert mshr.lookup(7, now=250.0) is None
+
+    def test_lookup_unknown_block(self):
+        assert Mshr(4).lookup(99, 0.0) is None
+
+    def test_rejects_zero_entries(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Mshr(0)

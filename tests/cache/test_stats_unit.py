@@ -1,0 +1,55 @@
+"""Unit tests for the CacheStats counter bundle."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+@pytest.fixture
+def stats():
+    s = CacheStats(num_cores=3)
+    s.demand_hits[0] = 10
+    s.demand_misses[0] = 5
+    s.other_hits[1] = 2
+    s.other_misses[1] = 3
+    s.demand_hits[2] = 1
+    return s
+
+
+class TestAggregation:
+    def test_per_core(self, stats):
+        assert stats.hits(0) == 10
+        assert stats.misses(0) == 5
+        assert stats.accesses(0) == 15
+        assert stats.demand_accesses(0) == 15
+
+    def test_global(self, stats):
+        assert stats.hits() == 13
+        assert stats.misses() == 8
+
+    def test_other_traffic_excluded_from_demand(self, stats):
+        assert stats.demand_accesses(1) == 0
+        assert stats.accesses(1) == 5
+
+    def test_miss_rate(self, stats):
+        assert stats.miss_rate(0) == pytest.approx(5 / 15)
+        assert stats.miss_rate(1) == 0.0  # no demand traffic
+
+    def test_global_miss_rate(self, stats):
+        assert stats.miss_rate() == pytest.approx(5 / 16)
+
+
+class TestLifecycle:
+    def test_reset(self, stats):
+        stats.reset()
+        assert stats.hits() == 0
+        assert stats.misses() == 0
+
+    def test_snapshot_is_a_copy(self, stats):
+        snap = stats.snapshot()
+        stats.demand_hits[0] += 100
+        assert snap["demand_hits"][0] == 10
+
+    def test_snapshot_keys(self, stats):
+        snap = stats.snapshot()
+        assert {"demand_hits", "demand_misses", "bypasses", "evictions"} <= set(snap)

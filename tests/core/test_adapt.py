@@ -1,0 +1,124 @@
+"""Unit and behaviour tests for the composed ADAPT policy."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.adapt import AdaptPolicy
+from repro.core.priority import PriorityBucket
+
+
+def make_adapt_cache(num_sets=64, ways=4, cores=2, monitor_sets=64, **kw):
+    policy = AdaptPolicy(num_monitor_sets=monitor_sets, **kw)
+    cache = SetAssociativeCache("llc", num_sets, ways, policy, num_cores=cores)
+    return cache, policy
+
+
+class TestClassificationLoop:
+    def test_initial_bucket_is_low(self):
+        _, policy = make_adapt_cache()
+        assert all(b == PriorityBucket.LOW for b in policy.buckets)
+
+    def test_thrashing_core_reaches_least(self):
+        cache, policy = make_adapt_cache(num_sets=16, ways=4, cores=2)
+        # Core 0 sweeps 24 blocks/set (thrash); core 1 touches 2 blocks/set.
+        for sweep in range(3):
+            for addr in range(24 * 16):
+                cache.access(0, addr)
+            for addr in range(2 * 16):
+                cache.access(1, (1 << 30) + addr)
+        policy.end_interval()
+        assert policy.bucket_of(0) == PriorityBucket.LEAST
+        assert policy.bucket_of(1) == PriorityBucket.HIGH
+        assert policy.footprints[0] >= 16
+        assert policy.footprints[1] <= 3
+
+    def test_least_core_bypasses(self):
+        cache, policy = make_adapt_cache(num_sets=16, ways=4, cores=1)
+        for addr in range(24 * 16):
+            cache.access(0, addr)
+        policy.end_interval()
+        before = sum(cache.stats.bypasses)
+        for addr in range(24 * 16):
+            cache.access(0, addr)
+        assert sum(cache.stats.bypasses) > before
+
+    def test_adapt_ins_never_bypasses(self):
+        cache, policy = make_adapt_cache(
+            num_sets=16, ways=4, cores=1, bypass_least=False
+        )
+        for sweep in range(2):
+            for addr in range(24 * 16):
+                cache.access(0, addr)
+            policy.end_interval()
+        assert sum(cache.stats.bypasses) == 0
+        assert policy.bucket_of(0) == PriorityBucket.LEAST
+
+    def test_sliding_window_declassifies(self):
+        """An app that stops thrashing is re-promoted next interval."""
+        cache, policy = make_adapt_cache(num_sets=16, ways=4, cores=1)
+        for addr in range(24 * 16):
+            cache.access(0, addr)
+        policy.end_interval()
+        assert policy.bucket_of(0) == PriorityBucket.LEAST
+        for sweep in range(20):
+            for addr in range(2 * 16):
+                cache.access(0, addr)
+        policy.end_interval()
+        assert policy.bucket_of(0) == PriorityBucket.HIGH
+
+    def test_history_records_intervals(self):
+        _, policy = make_adapt_cache(cores=3)
+        policy.end_interval()
+        policy.end_interval()
+        assert all(len(h) == 2 for h in policy.history)
+
+
+class TestInsertionBehaviour:
+    def test_high_priority_fills_at_zero(self):
+        cache, policy = make_adapt_cache(num_sets=16, ways=4, cores=1)
+        policy.buckets[0] = PriorityBucket.HIGH
+        cache.access(0, 5)
+        way = cache.addrs[5 & 15].index(5)
+        assert policy.rrpv[5 & 15][way] == 0
+
+    def test_writebacks_insert_distant_and_are_not_sampled(self):
+        cache, policy = make_adapt_cache(num_sets=16, ways=4, cores=1)
+        samples_before = policy.samplers[0].samples
+        cache.access(0, 7, is_write=True, is_demand=False)
+        assert policy.samplers[0].samples == samples_before
+        way = cache.addrs[7].index(7)
+        assert policy.rrpv[7][way] == 3
+
+    def test_demand_hits_are_sampled(self):
+        cache, policy = make_adapt_cache(num_sets=16, ways=4, cores=1, monitor_sets=16)
+        cache.access(0, 3)
+        before = policy.samplers[0].samples
+        cache.access(0, 3)  # hit on a monitored set still samples
+        assert policy.samplers[0].samples == before + 1
+
+    def test_no_dedicated_sets(self):
+        """ADAPT uses no set-duelling: all sets follow the same rule."""
+        cache, policy = make_adapt_cache(num_sets=64, ways=4, cores=1)
+        policy.buckets[0] = PriorityBucket.HIGH
+        fills = []
+        for s in range(64):
+            cache.access(0, (1 << 20) + s)
+            way = cache.addrs[s].index((1 << 20) + s)
+            fills.append(policy.rrpv[s][way])
+        assert set(fills) == {0}
+
+
+class TestNaming:
+    def test_variant_names(self):
+        assert AdaptPolicy(bypass_least=True).name == "adapt_bp32"
+        assert AdaptPolicy(bypass_least=False).name == "adapt_ins"
+
+    def test_describe_shows_buckets(self):
+        _, policy = make_adapt_cache(cores=2)
+        text = policy.describe()
+        assert text.startswith("adapt_bp32[")
+
+    def test_storage_bits_scales_with_cores(self):
+        _, p2 = make_adapt_cache(cores=2, monitor_sets=40)
+        _, p4 = make_adapt_cache(cores=4, monitor_sets=40)
+        assert p4.storage_bits() == 2 * p2.storage_bits()

@@ -1,0 +1,111 @@
+"""Unit tests for the Footprint-number monitor (Section 3.1)."""
+
+import pytest
+
+from repro.core.footprint import FootprintSampler, SamplerSet
+
+
+class TestSamplerSet:
+    def test_counts_unique_tags(self):
+        s = SamplerSet(entries=16)
+        for tag in (1, 2, 3, 2, 1):
+            s.observe(tag)
+        assert s.unique_count == 3
+
+    def test_hit_refreshes_recency(self):
+        s = SamplerSet(entries=4)
+        s.observe(7)
+        s.observe(9)
+        assert s.observe(7) is False
+        assert s.rrpv[s.tags.index(7 & s.partial_mask)] == 0
+
+    def test_replacement_when_full(self):
+        s = SamplerSet(entries=2)
+        for tag in (1, 2, 3):
+            s.observe(tag)
+        assert len(s.tags) == 2
+        assert s.unique_count == 3  # counter keeps counting past capacity
+
+    def test_thrashing_set_counter_grows_past_entries(self):
+        # The property LstP detection relies on: a per-set working set
+        # beyond the array capacity keeps incrementing the counter.
+        s = SamplerSet(entries=16)
+        for sweep in range(2):
+            for tag in range(24):
+                s.observe(tag)
+        assert s.unique_count > 16
+
+    def test_counter_saturates(self):
+        s = SamplerSet(entries=2, counter_bits=4)
+        for tag in range(100):
+            s.observe(tag)
+        assert s.unique_count == 15
+
+    def test_partial_tags_alias(self):
+        s = SamplerSet(entries=16, partial_tag_bits=4)
+        s.observe(0x1)
+        assert s.observe(0x11) is False  # aliases on the low 4 bits
+        assert s.unique_count == 1
+
+    def test_reset(self):
+        s = SamplerSet()
+        s.observe(1)
+        s.reset()
+        assert s.unique_count == 0 and not s.tags
+
+
+class TestFootprintSampler:
+    def test_figure_2b_worked_example(self):
+        """The paper's example: counts 3,2,3,3 -> Footprint-number 2.75."""
+        sampler = FootprintSampler(llc_num_sets=4, num_monitor_sets=4)
+        per_set = {0: [1, 2, 1, 3], 1: [4, 5], 2: [6, 7, 8], 3: [9, 10, 11, 9]}
+        for set_idx, tags in per_set.items():
+            for tag in tags:
+                sampler.observe(set_idx, tag * 4 + set_idx)
+        assert sampler.footprint_number() == pytest.approx(2.75)
+
+    def test_monitored_sets_evenly_spaced(self):
+        sampler = FootprintSampler(llc_num_sets=512, num_monitor_sets=40)
+        sets = sampler.monitored_sets
+        assert len(sets) == 40
+        assert sets == sorted(set(sets))
+        gaps = [b - a for a, b in zip(sets, sets[1:])]
+        assert max(gaps) - min(gaps) <= 1
+
+    def test_unmonitored_sets_ignored(self):
+        sampler = FootprintSampler(llc_num_sets=64, num_monitor_sets=4)
+        unmonitored = next(
+            s for s in range(64) if s not in set(sampler.monitored_sets)
+        )
+        sampler.observe(unmonitored, 12345)
+        assert sampler.samples == 0
+        assert sampler.footprint_number() == 0.0
+
+    def test_compute_and_reset_slides_the_window(self):
+        sampler = FootprintSampler(llc_num_sets=16, num_monitor_sets=16)
+        for addr in range(64):
+            sampler.observe(addr % 16, addr)
+        first = sampler.compute_and_reset()
+        assert first == pytest.approx(4.0)
+        assert sampler.footprint_number() == 0.0
+        assert sampler.intervals_completed == 1
+        assert sampler.last_footprint == first
+
+    def test_cyclic_working_set_measures_blocks_per_set(self):
+        """A ws of k x num_sets blocks must measure Footprint-number ~k."""
+        num_sets = 64
+        sampler = FootprintSampler(llc_num_sets=num_sets, num_monitor_sets=16)
+        k = 6
+        for sweep in range(2):
+            for addr in range(k * num_sets):
+                sampler.observe(addr % num_sets, addr)
+        assert sampler.footprint_number() == pytest.approx(k, abs=0.5)
+
+    def test_storage_matches_paper_budget(self):
+        """Section 3.3: 204 bits/set x 40 sets + 40 bits = 8200 bits/app."""
+        sampler = FootprintSampler(llc_num_sets=16384, num_monitor_sets=40)
+        assert sampler.storage_bits() == 8200
+
+    def test_monitor_sets_clamped_to_llc(self):
+        sampler = FootprintSampler(llc_num_sets=8, num_monitor_sets=40)
+        assert sampler.num_monitor_sets == 8

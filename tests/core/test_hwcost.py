@@ -1,0 +1,44 @@
+"""Unit tests for the Table 2 hardware-cost model."""
+
+import pytest
+
+from repro.core.hwcost import adapt_cost, eaf_cost, ship_cost, table2_reports, tadrrip_cost
+
+
+class TestTable2Values:
+    def test_tadrrip_48_bytes_at_24_apps(self):
+        assert tadrrip_cost(24).bytes == 48
+
+    def test_eaf_256kb_for_16mb_cache(self):
+        assert eaf_cost(256 * 1024).kilobytes == pytest.approx(256.0)
+
+    def test_ship_near_paper_figure(self):
+        report = ship_cost(256 * 1024, sampled_line_fraction=0.125)
+        assert report.kilobytes == pytest.approx(65.875, abs=0.5)
+
+    def test_adapt_8200_bits_per_app(self):
+        report = adapt_cost(1)
+        assert report.bits == 8200
+
+    def test_adapt_24kb_at_24_apps(self):
+        assert adapt_cost(24).kilobytes == pytest.approx(24.0, abs=0.1)
+
+    def test_adapt_per_set_budget_is_204_bits(self):
+        # 16 x (10 + 2) + 8 + 4 = 204 (Section 3.3's arithmetic).
+        report = adapt_cost(1, num_monitor_sets=1, register_bits=0)
+        assert report.bits == 204
+
+
+class TestReports:
+    def test_table2_has_four_rows(self):
+        reports = table2_reports()
+        assert [r.policy for r in reports] == ["TA-DRRIP", "EAF-RRIP", "SHiP", "ADAPT"]
+
+    def test_render_contains_size(self):
+        text = adapt_cost(24).render()
+        assert "KB" in text and "ADAPT" in text
+
+    def test_cost_ordering_matches_paper(self):
+        """TA-DRRIP << ADAPT << SHiP << EAF at paper scale."""
+        reports = {r.policy: r.bits for r in table2_reports()}
+        assert reports["TA-DRRIP"] < reports["ADAPT"] < reports["SHiP"] < reports["EAF-RRIP"]

@@ -1,0 +1,75 @@
+"""Unit tests for the passive footprint monitor wrapper."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.monitor import MonitoredPolicy
+from repro.policies.lru import LruPolicy
+from repro.policies.rrip import SrripPolicy
+
+
+def make_monitored(num_sets=16, ways=2, cores=1, configs=None):
+    inner = SrripPolicy()
+    policy = MonitoredPolicy(inner, configs or {"sampled": (num_sets, 16)})
+    cache = SetAssociativeCache("t", num_sets, ways, policy, num_cores=cores)
+    return cache, policy, inner
+
+
+class TestDelegation:
+    def test_behaviour_identical_to_inner(self):
+        """The monitor must not change a single replacement decision."""
+        plain = SetAssociativeCache("p", 16, 2, SrripPolicy(), num_cores=1)
+        monitored, _, _ = make_monitored()
+        stream = [(i * 7) % 128 for i in range(2000)]
+        for addr in stream:
+            plain.access(0, addr)
+            monitored.access(0, addr)
+        assert plain.stats.hits() == monitored.stats.hits()
+        assert plain.addrs == monitored.addrs
+
+    def test_interval_delegates_to_inner(self):
+        cache, policy, inner = make_monitored()
+        policy.end_interval()  # must not raise even with zero samples
+
+    def test_wraps_lru_too(self):
+        policy = MonitoredPolicy(LruPolicy())
+        cache = SetAssociativeCache("t", 16, 2, policy, num_cores=1)
+        cache.access(0, 1)
+        assert cache.probe(1)
+
+
+class TestMeasurement:
+    def test_footprint_measured_per_interval(self):
+        cache, policy, _ = make_monitored()
+        for addr in range(64):  # 4 unique per set over 16 sets
+            cache.access(0, addr)
+        policy.end_interval()
+        assert policy.history["sampled"][0] == [pytest.approx(4.0)]
+
+    def test_mean_footprint_over_intervals(self):
+        cache, policy, _ = make_monitored()
+        for addr in range(32):
+            cache.access(0, addr)
+        policy.end_interval()
+        for addr in range(64):
+            cache.access(0, addr)
+        policy.end_interval()
+        assert policy.mean_footprint("sampled", 0) == pytest.approx(3.0)
+
+    def test_mean_footprint_before_any_interval(self):
+        cache, policy, _ = make_monitored()
+        for addr in range(16):
+            cache.access(0, addr)
+        assert policy.mean_footprint("sampled", 0) == pytest.approx(1.0)
+
+    def test_two_monitors_in_parallel(self):
+        cache, policy, _ = make_monitored(
+            configs={"all": (16, 32), "sampled": (4, 16)}
+        )
+        for addr in range(96):
+            cache.access(0, addr)
+        policy.end_interval()
+        fpn_all = policy.history["all"][0][0]
+        fpn_sampled = policy.history["sampled"][0][0]
+        assert fpn_all == pytest.approx(6.0)
+        assert fpn_sampled == pytest.approx(6.0, abs=1.0)

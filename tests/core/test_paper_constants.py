@@ -1,0 +1,84 @@
+"""Pin every hardware constant the paper states to our defaults.
+
+These tests exist so that a refactor cannot silently drift the
+reproduction away from the published design point.
+"""
+
+from repro.core.adapt import AdaptPolicy
+from repro.core.footprint import FootprintSampler
+from repro.core.priority import InsertionPriorityPredictor
+from repro.policies.drrip import DrripPolicy
+from repro.policies.eaf import EafPolicy
+from repro.policies.rrip import BrripPolicy, SrripPolicy
+from repro.policies.ship import ShipPolicy
+from repro.policies.tadrrip import TaDrripPolicy
+from repro.sim.config import SystemConfig
+
+
+class TestAdaptConstants:
+    def test_monitor_defaults(self):
+        """Section 3.1: 40 sampled sets, 16-entry arrays, 10-bit tags."""
+        sampler = FootprintSampler(llc_num_sets=16384)
+        assert sampler.num_monitor_sets == 40
+        assert sampler.entries == 16
+        assert sampler._arrays[0].partial_mask == (1 << 10) - 1
+
+    def test_priority_defaults(self):
+        """Section 3.2: HP [0,3], MP (3,12], LP (12,16), LstP >= 16."""
+        predictor = InsertionPriorityPredictor()
+        assert predictor.associativity == 16
+        assert predictor.high_max == 3.0
+        assert predictor.medium_max == 12.0
+
+    def test_adapt_ticker_denominators(self):
+        """Table 1: 1/16th exceptions for MP and LP, 1/32nd LstP inserts."""
+        predictor = InsertionPriorityPredictor()
+        assert predictor._medium_ticker.denominator == 16
+        assert predictor._low_ticker.denominator == 16
+        assert predictor._least_ticker.denominator == 32
+
+    def test_adapt_uses_2_bit_rrpv(self):
+        """Section 3.2: 2 bits per line for the RRPV, like prior work."""
+        policy = AdaptPolicy()
+        assert policy.max_rrpv == 3
+
+
+class TestBaselineConstants:
+    def test_set_duelling_parameters(self):
+        """Section 2: 32 sets per policy, 10-bit PSEL, threshold 512."""
+        drrip = DrripPolicy()
+        assert drrip._leader_sets == 32
+        assert drrip._psel.threshold == 512
+        assert drrip._psel.max_value == 1023
+
+    def test_tadrrip_per_thread_psels(self):
+        policy = TaDrripPolicy()
+        policy.bind(1024, 16, 24)
+        assert len(policy._psel) == 24
+
+    def test_rrip_insertion_points(self):
+        srrip, brrip = SrripPolicy(), BrripPolicy()
+        assert srrip.max_rrpv - 1 == 2  # "long"
+        assert brrip._ticker.denominator == 32  # epsilon
+
+    def test_ship_table_shape(self):
+        """Table 2 implies a 16K-entry SHCT; SHiP uses 14-bit signatures."""
+        ship = ShipPolicy()
+        assert ship.shct_entries == 16 * 1024
+        assert ship.signature_bits == 14
+
+    def test_eaf_bits_per_address(self):
+        """Table 2: 8 bits per tracked address."""
+        eaf = EafPolicy()
+        eaf.bind(16384, 16, 16)
+        assert eaf.filter.size == 16384 * 16 * 8
+
+
+class TestPlatformConstants:
+    def test_paper_platform_is_table3(self):
+        cfg = SystemConfig.paper()
+        assert (cfg.llc_banks, cfg.dram_banks) == (4, 8)
+        assert (cfg.l2_wb_entries, cfg.l2_wb_retire_at) == (32, 24)
+        assert (cfg.llc_wb_entries, cfg.llc_wb_retire_at) == (128, 96)
+        assert cfg.llc_mshr_entries == 256
+        assert cfg.dram_row_bytes == 4096

@@ -1,0 +1,92 @@
+"""Unit tests for the insertion-priority predictor (Table 1, Section 3.2)."""
+
+import pytest
+
+from repro.core.priority import InsertionPriorityPredictor, PriorityBucket
+from repro.policies.base import BYPASS
+
+
+@pytest.fixture
+def predictor():
+    return InsertionPriorityPredictor(associativity=16)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "fpn,bucket",
+        [
+            (0.0, PriorityBucket.HIGH),
+            (2.75, PriorityBucket.HIGH),
+            (3.0, PriorityBucket.HIGH),      # [0,3] both included
+            (3.01, PriorityBucket.MEDIUM),   # (3,12]
+            (12.0, PriorityBucket.MEDIUM),
+            (12.01, PriorityBucket.LOW),     # (12,16)
+            (15.99, PriorityBucket.LOW),
+            (16.0, PriorityBucket.LEAST),    # >= 16
+            (32.0, PriorityBucket.LEAST),
+        ],
+    )
+    def test_table1_boundaries(self, predictor, fpn, bucket):
+        assert predictor.classify(fpn) == bucket
+
+    def test_custom_ranges(self):
+        p = InsertionPriorityPredictor(associativity=16, high_max=5, medium_max=10)
+        assert p.classify(4.0) == PriorityBucket.HIGH
+        assert p.classify(11.0) == PriorityBucket.LOW
+
+    def test_larger_associativity_shifts_least(self):
+        p = InsertionPriorityPredictor(associativity=32, medium_max=12)
+        assert p.classify(20.0) == PriorityBucket.LOW
+        assert p.classify(32.0) == PriorityBucket.LEAST
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            InsertionPriorityPredictor(associativity=16, high_max=12, medium_max=3)
+        with pytest.raises(ValueError):
+            InsertionPriorityPredictor(associativity=8, high_max=3, medium_max=12)
+
+
+class TestInsertionValues:
+    def test_high_always_zero(self, predictor):
+        assert all(
+            predictor.insertion_rrpv(PriorityBucket.HIGH) == 0 for _ in range(32)
+        )
+
+    def test_medium_one_in_sixteen_at_two(self, predictor):
+        values = [predictor.insertion_rrpv(PriorityBucket.MEDIUM) for _ in range(64)]
+        assert values.count(2) == 4
+        assert values.count(1) == 60
+
+    def test_low_one_in_sixteen_at_one(self, predictor):
+        values = [predictor.insertion_rrpv(PriorityBucket.LOW) for _ in range(64)]
+        assert values.count(1) == 4
+        assert values.count(2) == 60
+
+    def test_least_bypasses_31_of_32(self, predictor):
+        values = [predictor.insertion_rrpv(PriorityBucket.LEAST) for _ in range(64)]
+        assert sum(1 for v in values if v is BYPASS) == 62
+        assert values.count(3) == 2
+
+    def test_least_without_bypass_inserts_distant(self):
+        p = InsertionPriorityPredictor(bypass_least=False)
+        assert all(
+            p.insertion_rrpv(PriorityBucket.LEAST) == 3 for _ in range(64)
+        )
+
+    def test_tickers_are_independent(self, predictor):
+        # Consuming MEDIUM ticks must not perturb LOW's 1/16 phase.
+        for _ in range(7):
+            predictor.insertion_rrpv(PriorityBucket.MEDIUM)
+        low_values = [predictor.insertion_rrpv(PriorityBucket.LOW) for _ in range(16)]
+        assert low_values.count(1) == 1
+
+
+class TestBucketLabels:
+    def test_labels(self):
+        assert PriorityBucket.HIGH.label == "HP"
+        assert PriorityBucket.MEDIUM.label == "MP"
+        assert PriorityBucket.LOW.label == "LP"
+        assert PriorityBucket.LEAST.label == "LstP"
+
+    def test_ordering(self):
+        assert PriorityBucket.HIGH < PriorityBucket.LEAST

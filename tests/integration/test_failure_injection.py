@@ -1,0 +1,142 @@
+"""Failure-injection and edge-condition tests.
+
+The substrate must degrade predictably under hostile inputs: adversarial
+address streams, pathological policy states, exhausted structures.
+"""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.adapt import AdaptPolicy
+from repro.core.priority import PriorityBucket
+from repro.policies.base import BYPASS, ReplacementPolicy
+from repro.policies.registry import make_policy
+from repro.sim.build import build_hierarchy, build_sources
+from repro.cpu.engine import MulticoreEngine
+from repro.trace.workloads import Workload
+
+
+class TestAdversarialStreams:
+    def test_single_set_hammering(self):
+        """Every access to one set: no overflow, stats stay consistent."""
+        for name in ("lru", "tadrrip", "ship", "eaf", "adapt_bp32"):
+            cache = SetAssociativeCache("t", 16, 4, make_policy(name), num_cores=2)
+            for i in range(5000):
+                cache.access(i % 2, i * 16)  # always set 0
+            assert cache.stats.misses() > 0
+            assert len(cache.resident_blocks(0)) <= 4
+            for s in range(1, 16):
+                assert cache.resident_blocks(s) == []
+
+    def test_all_writes_stream(self):
+        cache = SetAssociativeCache("t", 8, 2, make_policy("srrip"), num_cores=1)
+        for i in range(200):
+            cache.access(0, i, is_write=True)
+        dirty = sum(
+            cache.dirty[s][w]
+            for s in range(8)
+            for w in range(2)
+            if cache.addrs[s][w] != -1
+        )
+        assert dirty == 16  # every resident line dirty
+
+    def test_negative_looking_huge_addresses(self):
+        cache = SetAssociativeCache("t", 8, 2, make_policy("lru"), num_cores=1)
+        huge = (1 << 62) + 12345
+        cache.access(0, huge)
+        assert cache.probe(huge)
+
+
+class TestPolicyStateEdges:
+    def test_adapt_with_every_bucket_forced(self):
+        """Force each bucket on a live cache and keep it consistent."""
+        policy = AdaptPolicy(num_monitor_sets=8)
+        cache = SetAssociativeCache("t", 16, 4, policy, num_cores=1)
+        for bucket in PriorityBucket:
+            policy.buckets[0] = bucket
+            for i in range(200):
+                cache.access(0, (int(bucket) << 20) + i)
+        assert sum(cache.stats.fills) + sum(cache.stats.bypasses) == cache.stats.misses()
+
+    def test_end_interval_with_no_traffic(self):
+        policy = AdaptPolicy()
+        policy.bind(64, 16, 4)
+        policy.end_interval()
+        assert policy.footprints == [0.0] * 4
+        assert all(b == PriorityBucket.HIGH for b in policy.buckets)
+
+    def test_interval_storm(self):
+        """Thousands of interval boundaries without traffic must be safe."""
+        policy = AdaptPolicy()
+        policy.bind(64, 16, 2)
+        for _ in range(2000):
+            policy.end_interval()
+        assert len(policy.history[0]) == 2000
+
+    def test_bypass_everything_policy_still_progresses(self):
+        """A policy that bypasses all demand fills must not wedge the engine."""
+
+        class AlwaysBypass(ReplacementPolicy):
+            name = "always-bypass"
+
+            def decide_insertion(self, s, c, pc, addr, demand):
+                return BYPASS if demand else 3
+
+            def victim(self, s, c):
+                return 0
+
+            def on_fill(self, s, w, ins, c, pc, addr, demand):
+                pass
+
+            def on_hit(self, s, w, c, demand, addr=-1):
+                pass
+
+        from repro.sim.config import CacheLevelConfig, SystemConfig
+
+        config = SystemConfig(
+            name="bypass-all",
+            num_cores=2,
+            l1=CacheLevelConfig(8, 4, 3.0),
+            l2=CacheLevelConfig(8, 8, 14.0),
+            llc=CacheLevelConfig(32, 4, 24.0),
+        )
+        hierarchy = build_hierarchy(config, AlwaysBypass())
+        workload = Workload("t", ("lbm", "calc"))
+        engine = MulticoreEngine(
+            hierarchy, build_sources(workload, config), quota_per_core=800
+        )
+        snaps = engine.run()
+        assert all(s.accesses == 800 for s in snaps)
+        assert sum(hierarchy.llc.stats.fills) == sum(
+            hierarchy.llc.stats.writeback_arrivals
+        ) - sum(hierarchy.llc.stats.other_hits)
+
+
+class TestStructureExhaustion:
+    def test_mshr_saturation_is_bounded(self):
+        from repro.cache.mshr import Mshr
+
+        mshr = Mshr(entries=2)
+        t = 0.0
+        for block in range(100):
+            start = mshr.reserve(block, t)
+            mshr.complete_at(block, start + 50.0)
+        # Time marched forward monotonically under permanent saturation.
+        assert mshr.stalls > 0
+        assert mshr.outstanding(1e9) == 0
+
+    def test_wb_buffer_saturation_is_bounded(self):
+        from repro.cache.writeback import WriteBackBuffer
+
+        wb = WriteBackBuffer(entries=2, retire_at=1, drain_cycles=10.0)
+        starts = [wb.admit(0.0) for _ in range(50)]
+        assert starts == sorted(starts)
+        assert wb.stalls > 0
+
+    def test_sampler_counter_saturation(self):
+        from repro.core.footprint import SamplerSet
+
+        s = SamplerSet(entries=4, counter_bits=4)
+        for tag in range(1000):
+            s.observe(tag)
+        assert s.unique_count == 15  # saturated, no wraparound

@@ -1,0 +1,48 @@
+"""The verbatim Table 3 platform must be constructible and runnable.
+
+The full paper-scale experiment is out of Python's reach, but the
+configuration itself has to work: a short smoke run on the 16MB/16-way
+LLC with prefetch enabled, exercising the exact interval arithmetic the
+paper states (1M misses, 40 monitored sets of 16384).
+"""
+
+from repro.cpu.engine import MulticoreEngine
+from repro.sim.build import build_hierarchy, build_sources
+from repro.sim.config import SystemConfig
+from repro.trace.workloads import Workload
+
+
+class TestPaperPlatform:
+    def test_short_run_on_paper_config(self):
+        config = SystemConfig.paper(num_cores=4)
+        workload = Workload("t", ("lbm", "calc", "mcf", "deal"))
+        hierarchy = build_hierarchy(config, "adapt_bp32")
+        sources = build_sources(workload, config)
+        engine = MulticoreEngine(
+            hierarchy,
+            sources,
+            quota_per_core=1500,
+            interval_misses=config.effective_interval,
+        )
+        snapshots = engine.run()
+        assert all(s.instructions > 0 for s in snapshots)
+        # Next-line prefetch is on in the paper config and must have fired.
+        assert hierarchy.prefetches_issued > 0
+
+    def test_paper_monitor_geometry(self):
+        config = SystemConfig.paper()
+        policy = build_hierarchy(config, "adapt_bp32").llc.policy
+        sampler = policy.samplers[0]
+        assert sampler.num_monitor_sets == 40
+        assert sampler.llc_num_sets == 16384
+        # Section 3.3's per-application budget holds at paper scale.
+        assert sampler.storage_bits() == 8200
+
+    def test_working_sets_scale_to_paper_llc(self):
+        from repro.sim.build import geometry_of
+        from repro.trace.benchmarks import BENCHMARKS, TraceSource
+
+        config = SystemConfig.paper()
+        src = TraceSource(BENCHMARKS["lbm"], geometry_of(config), 0)
+        # fpn 32 on 16384 sets: a 32MB working set over a 16MB cache.
+        assert src.working_set_blocks == 32 * 16384

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.footprint import FootprintSampler
+from repro.core.priority import InsertionPriorityPredictor, PriorityBucket
+from repro.policies.base import BYPASS
+from repro.policies.eaf import BloomFilter
+from repro.policies.registry import available_policies, make_policy
+from repro.util.bitops import split_address, xor_fold
+from repro.util.counters import FractionTicker, SaturatingCounter
+
+addresses = st.integers(min_value=0, max_value=(1 << 44) - 1)
+
+
+class TestCacheInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), addresses, st.booleans()),
+            min_size=1,
+            max_size=300,
+        ),
+        st.sampled_from(["lru", "srrip", "brrip", "dip", "ship", "eaf", "adapt_bp32"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_structural_invariants_hold_under_any_stream(self, stream, policy_name):
+        """After any access stream: no duplicate lines, set mapping correct,
+        occupancy equals valid-line count, stats balance."""
+        cache = SetAssociativeCache("t", 8, 4, make_policy(policy_name), num_cores=4)
+        for core, addr, is_write in stream:
+            cache.access(core, addr, pc=addr & 0xFFF, is_write=is_write)
+
+        valid = 0
+        for set_idx in range(cache.num_sets):
+            resident = cache.resident_blocks(set_idx)
+            # No duplicates within a set.
+            assert len(resident) == len(set(resident))
+            # Every resident block maps to its set.
+            for block in resident:
+                assert block & cache.set_mask == set_idx
+            valid += len(resident)
+
+        assert sum(cache.occupancy) == valid
+        stats = cache.stats
+        # Fills + bypasses == misses (every miss either allocates or bypasses).
+        assert sum(stats.fills) + sum(stats.bypasses) == stats.misses()
+        # A line can only be evicted after being filled.
+        assert sum(stats.evictions) <= sum(stats.fills)
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_immediate_rereference_always_hits(self, stream):
+        """Under a non-bypassing policy, accessing an address twice in a row
+        must hit the second time."""
+        cache = SetAssociativeCache("t", 8, 4, make_policy("lru"), num_cores=1)
+        for addr in stream:
+            cache.access(0, addr)
+            assert cache.access(0, addr).hit
+
+
+class TestFootprintProperties:
+    @given(st.lists(addresses, min_size=1, max_size=400))
+    @settings(max_examples=25, deadline=None)
+    def test_footprint_bounded_by_unique_blocks(self, stream):
+        sampler = FootprintSampler(llc_num_sets=16, num_monitor_sets=16)
+        for addr in stream:
+            sampler.observe(addr % 16, addr)
+        unique = len(set(stream))
+        # Average unique-per-set can never exceed total unique blocks.
+        assert sampler.footprint_number() <= unique
+        assert sampler.footprint_number() >= 0
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_duplicate_stream_does_not_inflate(self, stream):
+        """Observing the same stream twice gives the same Footprint-number
+        as observing it once (uniqueness, not volume, is counted) — as long
+        as the per-set arrays have not overflowed."""
+        small = [a % 128 for a in stream][:40]  # <= 40 blocks over 16 sets
+        s1 = FootprintSampler(llc_num_sets=16, num_monitor_sets=16)
+        s2 = FootprintSampler(llc_num_sets=16, num_monitor_sets=16)
+        for addr in small:
+            s1.observe(addr % 16, addr)
+        for addr in small + small:
+            s2.observe(addr % 16, addr)
+        assert s2.footprint_number() == s1.footprint_number()
+
+    @given(st.floats(min_value=0.0, max_value=64.0, allow_nan=False))
+    @settings(max_examples=100)
+    def test_classification_total_and_monotone(self, fpn):
+        predictor = InsertionPriorityPredictor(associativity=16)
+        bucket = predictor.classify(fpn)
+        assert bucket in PriorityBucket
+        # Monotone: a larger footprint never gets a better bucket.
+        assert predictor.classify(fpn + 1.0) >= bucket
+
+
+class TestPriorityProperties:
+    @given(st.sampled_from(list(PriorityBucket)), st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_values_always_legal(self, bucket, n):
+        predictor = InsertionPriorityPredictor(associativity=16)
+        for _ in range(n):
+            value = predictor.insertion_rrpv(bucket)
+            assert value is BYPASS or 0 <= value <= 3
+
+
+class TestBloomFilterProperties:
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_ever(self, values):
+        bloom = BloomFilter(capacity=256)
+        for v in values:
+            bloom.insert(v)
+        assert all(v in bloom for v in values)
+
+
+class TestCounterProperties:
+    @given(st.integers(1, 12), st.lists(st.sampled_from(["inc", "dec"]), max_size=200))
+    @settings(max_examples=40)
+    def test_saturating_counter_stays_in_range(self, bits, ops):
+        c = SaturatingCounter(bits)
+        for op in ops:
+            c.increment() if op == "inc" else c.decrement()
+            assert 0 <= c.value <= c.max_value
+
+    @given(st.integers(1, 64), st.integers(1, 1000))
+    @settings(max_examples=40)
+    def test_ticker_fires_exactly_n_over_kn(self, denom, windows):
+        t = FractionTicker(denom)
+        fires = sum(t.tick() for _ in range(denom * windows))
+        assert fires == windows
+
+
+class TestBitopsProperties:
+    @given(addresses, st.sampled_from([16, 64, 256, 1024]))
+    @settings(max_examples=60)
+    def test_split_address_roundtrip(self, addr, num_sets):
+        tag, set_idx = split_address(addr, num_sets)
+        assert tag * num_sets + set_idx == addr
+
+    @given(addresses, st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_xor_fold_in_range(self, value, width):
+        assert 0 <= xor_fold(value, width) < (1 << width)

@@ -1,0 +1,67 @@
+"""Public-API surface tests: imports, exports, example importability."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES = Path(repro.__file__).resolve().parents[2] / "examples"
+
+
+class TestTopLevelApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.policies",
+            "repro.cache",
+            "repro.mem",
+            "repro.cpu",
+            "repro.trace",
+            "repro.sim",
+            "repro.metrics",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_docstring_example_runs(self):
+        """The __init__ docstring's usage example must stay true."""
+        from repro import SystemConfig, design_suite, run_workload
+
+        config = SystemConfig.scaled(num_cores=16)
+        workload = design_suite(16, num_workloads=1)[0]
+        result = run_workload(workload, config, "adapt_bp32", quota=400, warmup=100)
+        assert len(result.ipcs) == 16
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "footprint_monitoring.py",
+            "policy_shootout.py",
+            "consolidation_24core.py",
+        ],
+    )
+    def test_examples_exist_with_main_guard(self, script):
+        path = EXAMPLES / script
+        text = path.read_text()
+        assert '__name__ == "__main__"' in text
+        compile(text, str(path), "exec")  # syntax-checked, not executed

@@ -1,0 +1,46 @@
+"""Unit tests for MPKI/IPC effect helpers."""
+
+import pytest
+
+from repro.metrics.cachestats import (
+    average_by_app,
+    ipc_speedup,
+    mpki_reduction_percent,
+    s_curve,
+)
+
+
+class TestMpkiReduction:
+    def test_reduction_positive_when_better(self):
+        assert mpki_reduction_percent(5.0, 10.0) == pytest.approx(50.0)
+
+    def test_negative_when_worse(self):
+        assert mpki_reduction_percent(12.0, 10.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert mpki_reduction_percent(1.0, 0.0) == 0.0
+
+
+class TestIpcSpeedup:
+    def test_ratio(self):
+        assert ipc_speedup(1.2, 1.0) == pytest.approx(1.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            ipc_speedup(1.0, 0.0)
+
+
+class TestScurve:
+    def test_sorted_ascending(self):
+        assert s_curve([1.05, 0.99, 1.01]) == [0.99, 1.01, 1.05]
+
+
+class TestAverageByApp:
+    def test_averages_across_workloads(self):
+        rows = [{"mcf": 10.0, "lbm": 0.0}, {"mcf": 20.0}]
+        out = average_by_app(rows)
+        assert out["mcf"] == pytest.approx(15.0)
+        assert out["lbm"] == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert average_by_app([]) == {}

@@ -1,0 +1,67 @@
+"""Unit tests for the Table 7 throughput metrics."""
+
+import pytest
+
+from repro.metrics.throughput import (
+    METRIC_LABELS,
+    METRIC_NAMES,
+    compute_all_metrics,
+    harmonic_mean_of_normalized_ipcs,
+    mean_gain_percent,
+    relative_gain,
+    weighted_speedup,
+)
+
+
+class TestWeightedSpeedup:
+    def test_no_interference_equals_core_count(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_halved_ipcs(self):
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_mixed(self):
+        assert weighted_speedup([0.5, 2.0], [1.0, 2.0]) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+        with pytest.raises(ValueError):
+            weighted_speedup([0.0], [1.0])
+
+
+class TestHarmonicNormalized:
+    def test_uniform_slowdown(self):
+        assert harmonic_mean_of_normalized_ipcs([0.5, 1.0], [1.0, 2.0]) == pytest.approx(0.5)
+
+    def test_penalises_imbalance(self):
+        balanced = harmonic_mean_of_normalized_ipcs([0.5, 0.5], [1.0, 1.0])
+        skewed = harmonic_mean_of_normalized_ipcs([0.9, 0.1], [1.0, 1.0])
+        assert skewed < balanced
+
+
+class TestAllMetrics:
+    def test_contains_all_table7_rows(self):
+        metrics = compute_all_metrics([1.0, 2.0], [2.0, 4.0])
+        assert set(metrics) == set(METRIC_NAMES)
+        assert set(METRIC_LABELS) == set(METRIC_NAMES)
+
+    def test_values(self):
+        metrics = compute_all_metrics([1.0, 4.0], [2.0, 4.0])
+        assert metrics["ws"] == pytest.approx(1.5)
+        assert metrics["gm_ipc"] == pytest.approx(2.0)
+        assert metrics["am_ipc"] == pytest.approx(2.5)
+        assert metrics["hm_ipc"] == pytest.approx(1.6)
+
+
+class TestGains:
+    def test_relative_gain(self):
+        assert relative_gain(1.047, 1.0) == pytest.approx(1.047)
+        with pytest.raises(ValueError):
+            relative_gain(1.0, 0.0)
+
+    def test_mean_gain_percent(self):
+        assert mean_gain_percent([1.1, 1.1]) == pytest.approx(10.0)
+        assert mean_gain_percent([1.0]) == pytest.approx(0.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the Figure 6 bypass wrapper."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.policies.base import BYPASS
+from repro.policies.bypass import BypassWrapper
+from repro.policies.lru import LruPolicy
+from repro.policies.rrip import BrripPolicy, SrripPolicy
+
+
+class TestBypassWrapper:
+    def test_distant_insertions_become_bypasses(self):
+        wrapper = BypassWrapper(BrripPolicy(), insert_denominator=32)
+        wrapper.bind(16, 4, 1)
+        decisions = [wrapper.decide_insertion(0, 0, 0, i, True) for i in range(64)]
+        bypasses = sum(1 for d in decisions if d is BYPASS)
+        # BRRIP yields 62 distant of 64; the wrapper keeps 1/32 of those.
+        assert bypasses == 60
+        assert decisions.count(3) == 2
+        assert decisions.count(2) == 2
+
+    def test_non_distant_decisions_untouched(self):
+        wrapper = BypassWrapper(SrripPolicy())
+        wrapper.bind(16, 4, 1)
+        assert wrapper.decide_insertion(0, 0, 0, 1, True) == 2
+
+    def test_writebacks_never_bypassed(self):
+        wrapper = BypassWrapper(BrripPolicy())
+        wrapper.bind(16, 4, 1)
+        for i in range(40):
+            assert wrapper.decide_insertion(0, 0, 0, i, False) == 3
+
+    def test_rejects_non_rrip_policies(self):
+        with pytest.raises(TypeError):
+            BypassWrapper(LruPolicy())
+
+    def test_cache_records_bypasses(self):
+        wrapper = BypassWrapper(BrripPolicy())
+        cache = SetAssociativeCache("t", 4, 2, wrapper, num_cores=1)
+        for addr in range(64):
+            cache.access(0, addr)
+        assert sum(cache.stats.bypasses) > 0
+        assert sum(cache.stats.bypasses) == wrapper.bypassed_distant
+
+    def test_bypassed_lines_not_resident(self):
+        wrapper = BypassWrapper(BrripPolicy(epsilon_denominator=1 << 30))
+        cache = SetAssociativeCache("t", 4, 2, wrapper, num_cores=1)
+        # Defeat both tickers' first-fire so every fill is distant->bypassed.
+        wrapper._ticker.tick()
+        cache.access(0, 100)
+        cache.access(0, 200)
+        assert not cache.probe(200)
+
+    def test_delegation_of_interval_and_hits(self):
+        inner = BrripPolicy()
+        wrapper = BypassWrapper(inner)
+        cache = SetAssociativeCache("t", 4, 2, wrapper, num_cores=1)
+        cache.access(0, 0)
+        if cache.probe(0):
+            cache.access(0, 0)
+            way = cache.addrs[0].index(0)
+            assert inner.rrpv[0][way] == 0  # hit promotion reached the inner policy
+        wrapper.end_interval()  # must not raise

@@ -1,0 +1,79 @@
+"""Unit tests for DRRIP and TA-DRRIP set-duelling behaviour."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.policies.drrip import DrripPolicy
+from repro.policies.tadrrip import TaDrripPolicy
+
+
+def thrash(cache, core, span, reps, offset=0):
+    for _ in range(reps):
+        for addr in range(offset, offset + span):
+            cache.access(core, addr)
+
+
+class TestDrrip:
+    def test_learns_brrip_under_thrash(self):
+        policy = DrripPolicy(leader_sets=8)
+        cache = SetAssociativeCache("t", 64, 4, policy, num_cores=1)
+        thrash(cache, 0, span=1024, reps=4)
+        assert policy.current_winner == "brrip"
+
+    def test_learns_srrip_when_ws_fits(self):
+        policy = DrripPolicy(leader_sets=8)
+        cache = SetAssociativeCache("t", 64, 4, policy, num_cores=1)
+        thrash(cache, 0, span=128, reps=30)
+        assert policy.current_winner == "srrip"
+
+    def test_leader_sets_pinned_to_their_policy(self):
+        policy = DrripPolicy(leader_sets=8)
+        policy.bind(64, 4, 1)
+        a_set = policy._duel.leader_sets(0, 0)[0]
+        b_set = policy._duel.leader_sets(0, 1)[0]
+        assert policy.decide_insertion(a_set, 0, 0, 1, True) == 2
+        # BRRIP leader: distant except the epsilon tick.
+        decisions = {policy.decide_insertion(b_set, 0, 0, i, True) for i in range(40)}
+        assert 3 in decisions
+
+    def test_writeback_insertions_distant_and_unlearned(self):
+        policy = DrripPolicy(leader_sets=8)
+        policy.bind(64, 4, 1)
+        psel_before = policy._psel.value
+        a_set = policy._duel.leader_sets(0, 0)[0]
+        assert policy.decide_insertion(a_set, 0, 0, 1, False) == 3
+        policy.on_miss(a_set, 0, False)
+        assert policy._psel.value == psel_before
+
+
+class TestTaDrrip:
+    def test_per_thread_learning(self):
+        """A thrashing thread flips to BRRIP while a reusing thread keeps SRRIP."""
+        policy = TaDrripPolicy(leader_sets=8)
+        cache = SetAssociativeCache("t", 64, 4, policy, num_cores=2)
+        base = 1 << 20
+        for rep in range(30):
+            for i in range(1024):  # core 0 thrashes
+                cache.access(0, i)
+            for i in range(96):  # core 1's ws fits comfortably
+                cache.access(1, base + i)
+        assert policy.uses_brrip(0)
+        assert not policy.uses_brrip(1)
+
+    def test_forced_cores_always_brrip(self):
+        policy = TaDrripPolicy(forced_brrip_cores=(1,))
+        policy.bind(64, 4, 2)
+        assert policy.uses_brrip(1)
+        decisions = [policy.decide_insertion(5, 1, 0, i, True) for i in range(40)]
+        assert decisions.count(3) >= 35
+
+    def test_forced_does_not_affect_other_cores(self):
+        policy = TaDrripPolicy(forced_brrip_cores=(1,))
+        policy.bind(64, 4, 2)
+        # Core 0 in one of its SRRIP leader sets inserts long.
+        a_set = policy._duel.leader_sets(0, 0)[0]
+        assert policy.decide_insertion(a_set, 0, 0, 1, True) == 2
+
+    def test_describe_shows_winners(self):
+        policy = TaDrripPolicy()
+        policy.bind(64, 4, 3)
+        text = policy.describe()
+        assert text.startswith("tadrrip[") and len(text.split("[")[1]) >= 3

@@ -1,0 +1,57 @@
+"""Unit tests for set-duelling leader assignment."""
+
+import pytest
+
+from repro.policies.dueling import DuelMap
+
+
+class TestDuelMap:
+    def test_exact_leader_counts(self):
+        duel = DuelMap(1024, leader_sets_per_policy=32)
+        assert len(duel.leader_sets(0, DuelMap.POLICY_A)) == 32
+        assert len(duel.leader_sets(0, DuelMap.POLICY_B)) == 32
+
+    def test_leader_pools_disjoint(self):
+        duel = DuelMap(256, 16)
+        a = set(duel.leader_sets(0, DuelMap.POLICY_A))
+        b = set(duel.leader_sets(0, DuelMap.POLICY_B))
+        assert not a & b
+
+    def test_majority_followers(self):
+        duel = DuelMap(256, 16)
+        followers = sum(
+            1 for s in range(256) if duel.owner(s, 0) == DuelMap.FOLLOWER
+        )
+        assert followers == 256 - 32
+
+    def test_threads_get_different_pools(self):
+        duel = DuelMap(1024, 32)
+        pools = [set(duel.leader_sets(t, DuelMap.POLICY_A)) for t in range(4)]
+        # Pseudo-random per-thread pools; identical pools would defeat TA duelling.
+        assert len({frozenset(p) for p in pools}) == 4
+
+    def test_deterministic(self):
+        a = DuelMap(512, 32).leader_sets(3, DuelMap.POLICY_A)
+        b = DuelMap(512, 32).leader_sets(3, DuelMap.POLICY_A)
+        assert a == b
+
+    def test_no_stride_resonance(self):
+        """A strided reference stream must not land wholly in one pool.
+
+        Regression test: an arithmetic (set % period) mapping lets
+        ``set = k*i mod num_sets`` streams fall entirely into one
+        constituency, corrupting the duel.
+        """
+        duel = DuelMap(64, 16)
+        for stride, thread in ((7, 0), (4, 1), (16, 2), (3, 3)):
+            owners = {duel.owner((stride * i) % 64, thread) for i in range(64)}
+            assert DuelMap.FOLLOWER in owners
+
+    def test_clamps_tiny_caches(self):
+        duel = DuelMap(8, leader_sets_per_policy=32)
+        assert duel.leader_sets_per_policy == 2
+        assert len(duel.leader_sets(0, DuelMap.POLICY_A)) == 2
+
+    def test_rejects_tiny_set_count(self):
+        with pytest.raises(ValueError):
+            DuelMap(2)

@@ -1,0 +1,36 @@
+"""Unit tests for the deterministic pseudo-random baseline policy."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.policies.random_ import RandomPolicy
+
+
+class TestRandomPolicy:
+    def test_victims_in_range(self):
+        policy = RandomPolicy(seed=3)
+        policy.bind(4, 8, 1)
+        assert all(0 <= policy.victim(0, 0) < 8 for _ in range(200))
+
+    def test_deterministic_sequence(self):
+        a = RandomPolicy(seed=3)
+        b = RandomPolicy(seed=3)
+        a.bind(4, 8, 1)
+        b.bind(4, 8, 1)
+        assert [a.victim(0, 0) for _ in range(50)] == [
+            b.victim(0, 0) for _ in range(50)
+        ]
+
+    def test_covers_all_ways(self):
+        policy = RandomPolicy(seed=1)
+        policy.bind(4, 8, 1)
+        assert {policy.victim(0, 0) for _ in range(400)} == set(range(8))
+
+    def test_zero_seed_does_not_degenerate(self):
+        policy = RandomPolicy(seed=0)
+        policy.bind(4, 4, 1)
+        assert len({policy.victim(0, 0) for _ in range(100)}) > 1
+
+    def test_usable_in_cache(self):
+        cache = SetAssociativeCache("t", 8, 4, RandomPolicy(), num_cores=1)
+        for i in range(500):
+            cache.access(0, i % 64)
+        assert cache.stats.hits() > 0

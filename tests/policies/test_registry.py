@@ -1,0 +1,45 @@
+"""Unit tests for the policy registry."""
+
+import pytest
+
+from repro.core.adapt import AdaptPolicy
+from repro.policies.bypass import BypassWrapper
+from repro.policies.registry import PAPER_POLICIES, available_policies, make_policy
+
+
+class TestRegistry:
+    def test_all_registered_names_construct(self):
+        for name in available_policies():
+            policy = make_policy(name)
+            policy.bind(64, 16, 4)
+
+    def test_paper_policies_subset(self):
+        names = set(available_policies())
+        for policy in PAPER_POLICIES:
+            assert policy in names
+
+    def test_fresh_instances(self):
+        assert make_policy("lru") is not make_policy("lru")
+
+    def test_adapt_variants(self):
+        assert make_policy("adapt_bp32").bypass_least is True
+        assert make_policy("adapt_ins").bypass_least is False
+        assert isinstance(make_policy("adapt"), AdaptPolicy)
+
+    def test_bp_suffix_wraps(self):
+        policy = make_policy("tadrrip+bp")
+        assert isinstance(policy, BypassWrapper)
+        assert policy.inner.name == "tadrrip"
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("adapt_bp32", num_monitor_sets=8)
+        policy.bind(256, 16, 2)
+        assert policy.samplers[0].num_monitor_sets == 8
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("plru")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError, match="modifier"):
+            make_policy("lru+fast")

@@ -1,0 +1,84 @@
+"""Unit tests for SHiP-PC."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.policies.ship import ShipPolicy
+
+DEAD_PC = 0x100
+LIVE_PC = 0x200
+
+
+class TestShipLearning:
+    def test_dead_signature_learns_distant(self):
+        policy = ShipPolicy(shct_entries=64)
+        cache = SetAssociativeCache("t", 4, 2, policy, num_cores=1)
+        # Stream never-reused lines from one PC until its counter hits 0.
+        for i in range(64):
+            cache.access(0, i, pc=DEAD_PC)
+        sig = policy.signature(0, DEAD_PC)
+        assert policy.shct[sig] == 0
+        assert policy.decide_insertion(0, 0, DEAD_PC, 999, True) == 3
+
+    def test_reused_signature_stays_intermediate(self):
+        policy = ShipPolicy(shct_entries=64)
+        cache = SetAssociativeCache("t", 4, 2, policy, num_cores=1)
+        for _ in range(10):
+            for i in range(4):
+                cache.access(0, i, pc=LIVE_PC)
+        assert policy.decide_insertion(0, 0, LIVE_PC, 999, True) == 2
+
+    def test_never_inserts_at_zero(self):
+        policy = ShipPolicy()
+        policy.bind(16, 4, 1)
+        decisions = {
+            policy.decide_insertion(0, 0, pc, pc, True) for pc in range(100)
+        }
+        assert decisions <= {2, 3}
+
+    def test_shct_recovers_when_reuse_returns(self):
+        policy = ShipPolicy(shct_entries=64)
+        cache = SetAssociativeCache("t", 4, 2, policy, num_cores=1)
+        for i in range(64):
+            cache.access(0, i, pc=DEAD_PC)  # drive to 0
+        sig = policy.signature(0, DEAD_PC)
+        assert policy.shct[sig] == 0
+        for _ in range(6):
+            for i in range(4):
+                cache.access(0, i, pc=DEAD_PC)  # reuse from same PC
+        assert policy.shct[sig] > 0
+
+
+class TestShipSignatures:
+    def test_shared_table_aliases_threads(self):
+        policy = ShipPolicy(thread_aware_signatures=False)
+        policy.bind(16, 4, 4)
+        assert policy.signature(0, 0x1234) == policy.signature(3, 0x1234)
+
+    def test_thread_aware_salting_separates(self):
+        policy = ShipPolicy(thread_aware_signatures=True)
+        policy.bind(16, 4, 4)
+        assert policy.signature(0, 0x1234) != policy.signature(3, 0x1234)
+
+    def test_signature_in_table_range(self):
+        policy = ShipPolicy(shct_entries=128)
+        policy.bind(16, 4, 1)
+        for pc in range(0, 1 << 20, 4097):
+            assert 0 <= policy.signature(0, pc) < 128
+
+
+class TestShipAccounting:
+    def test_distant_fraction(self):
+        policy = ShipPolicy(shct_entries=8)
+        policy.bind(16, 4, 1)
+        policy.shct = [0] * 8
+        policy.decide_insertion(0, 0, 0, 1, True)
+        policy.shct = [1] * 8
+        policy.decide_insertion(0, 0, 0, 2, True)
+        assert policy.distant_fraction() == 0.5
+
+    def test_writeback_fill_does_not_train(self):
+        policy = ShipPolicy(shct_entries=64)
+        cache = SetAssociativeCache("t", 4, 1, policy, num_cores=1)
+        cache.access(0, 0, pc=DEAD_PC, is_write=True, is_demand=False)
+        sig_values = list(policy.shct)
+        cache.access(0, 4, pc=DEAD_PC, is_write=True, is_demand=False)  # evicts 0
+        assert policy.shct == sig_values  # dead WB eviction did not decrement

@@ -1,0 +1,28 @@
+"""Tests for the `python -m repro.experiments` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table4" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "ADAPT" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "system configuration" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        assert "workload design" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,60 @@
+"""Unit tests for system configurations."""
+
+import pytest
+
+from repro.sim.config import CacheLevelConfig, SystemConfig
+
+
+class TestPaperConfig:
+    def test_table3_values(self):
+        cfg = SystemConfig.paper(16)
+        assert cfg.l1.capacity_bytes() == 32 * 1024
+        assert cfg.l2.capacity_bytes() == 256 * 1024
+        assert cfg.llc.capacity_bytes() == 16 * 1024 * 1024
+        assert cfg.llc.ways == 16
+        assert cfg.llc_banks == 4
+        assert cfg.dram_row_hit == 180.0
+        assert cfg.dram_row_conflict == 340.0
+        assert cfg.l1_next_line_prefetch
+        assert cfg.effective_interval == 1_000_000
+
+    def test_paper_interval_is_about_4x_blocks(self):
+        cfg = SystemConfig.paper(16)
+        ratio = cfg.effective_interval / cfg.llc.num_blocks
+        assert 3.5 < ratio < 4.5
+
+
+class TestScaledConfig:
+    def test_ratios_preserved(self):
+        cfg = SystemConfig.scaled(16)
+        assert cfg.llc.ways == 16
+        assert cfg.effective_interval == cfg.interval_blocks_multiplier * cfg.llc.num_blocks
+        assert cfg.monitor_sets == 40
+        assert cfg.partial_tag_bits == 10
+
+    def test_describe_mentions_interval(self):
+        assert "misses" in SystemConfig.scaled(8).describe()
+
+
+class TestVariants:
+    def test_with_llc_changes_ways_only(self):
+        base = SystemConfig.scaled(16)
+        wider = base.with_llc(ways=24)
+        assert wider.llc.ways == 24
+        assert wider.llc.num_sets == base.llc.num_sets
+        assert wider.name != base.name
+
+    def test_with_cores(self):
+        cfg = SystemConfig.scaled(16).with_cores(24)
+        assert cfg.num_cores == 24
+        assert "24core" in cfg.name
+
+    def test_configs_are_frozen(self):
+        cfg = SystemConfig.scaled(16)
+        with pytest.raises(Exception):
+            cfg.num_cores = 8
+
+    def test_cache_level_blocks(self):
+        level = CacheLevelConfig(num_sets=64, ways=8, latency=3.0)
+        assert level.num_blocks == 512
+        assert level.capacity_bytes(64) == 32 * 1024

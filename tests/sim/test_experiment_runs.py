@@ -1,0 +1,107 @@
+"""Miniature end-to-end runs of each simulation-backed experiment module."""
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings, Runner
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.perapp import run_perapp
+from repro.experiments.scurves import run_scurve
+from repro.experiments.table4 import characterise
+from repro.experiments.table7 import run_table7
+
+
+@pytest.fixture(scope="module")
+def mini_runner(request):
+    from repro.sim.config import CacheLevelConfig, SystemConfig
+
+    config = SystemConfig(
+        name="mini-4core",
+        num_cores=4,
+        l1=CacheLevelConfig(8, 4, 3.0),
+        l2=CacheLevelConfig(8, 8, 14.0),
+        llc=CacheLevelConfig(64, 16, 24.0),
+        monitor_sets=16,
+        interval_misses=2_000,
+    )
+    settings = ExperimentSettings(
+        quota=1500,
+        warmup=400,
+        alone_quota=1500,
+        alone_warmup=300,
+        workloads={4: 2, 8: 2, 16: 2, 20: 2, 24: 2},
+    )
+    return Runner(config, settings)
+
+
+class TestScurve:
+    def test_shapes_and_rendering(self, mini_runner):
+        result = run_scurve(mini_runner, 4, policies=("adapt_bp32", "lru"))
+        assert result.cores == 4
+        assert len(result.ratios["lru"]) == 2
+        assert result.s_curve("lru") == sorted(result.ratios["lru"])
+        text = result.render()
+        assert "4-core" in text and "lru" in text
+
+    def test_mean_and_max_gains_consistent(self, mini_runner):
+        result = run_scurve(mini_runner, 4, policies=("lru",))
+        assert result.max_gain_percent("lru") >= result.mean_gain_percent("lru") - 1e-9
+
+
+class TestFig6:
+    def test_pairs_present(self, mini_runner):
+        result = run_fig6(mini_runner, cores=4)
+        assert set(result.bars) == {"TA-DRRIP", "SHiP", "EAF", "ADAPT"}
+        for ins, byp in result.bars.values():
+            assert ins > 0 and byp > 0
+        assert "bypass" in result.render()
+
+
+class TestFig7:
+    def test_gains_for_each_point(self, mini_runner):
+        result = run_fig7(
+            mini_runner, core_counts=(4,), way_factors=(1.5,), max_workloads=1
+        )
+        assert list(result.gains) == [("24-way", 4)]
+        assert "24-way" in result.render()
+
+
+class TestFig1:
+    def test_bars_and_mpki_rows(self, mini_runner):
+        result = run_fig1(mini_runner, cores=4)
+        assert set(result.bars) == {
+            "TA-DRRIP(SD=64)", "TA-DRRIP(SD=128)", "TA-DRRIP(forced)",
+        }
+        # Every 4-core workload has >= 1 thrashing app, so both row groups
+        # are populated.
+        assert result.thrashing_rows()
+        assert result.other_rows()
+        assert "Fig. 1a" in result.render()
+
+
+class TestPerApp:
+    def test_per_app_tables(self, mini_runner):
+        result = run_perapp(mini_runner, cores=4, policies=("adapt_bp32",))
+        reductions = result.mpki_reduction["adapt_bp32"]
+        assert reductions  # at least the apps in the two mini workloads
+        text = result.render(thrashing=False)
+        assert "Fig. 5" in text
+
+
+class TestTable4Characterise:
+    def test_single_row(self, mini_runner):
+        row = characterise("calc", mini_runner.config, mini_runner.settings)
+        assert row.name == "calc"
+        assert row.fpn_sampled >= 0
+        assert row.measured_class in ("VL", "L", "M", "H", "VH")
+
+
+class TestTable7:
+    def test_all_metrics_all_cores(self, mini_runner):
+        result = run_table7(mini_runner, core_counts=(4,))
+        assert set(result.gains) == {"ws", "hm_norm", "gm_ipc", "hm_ipc", "am_ipc"}
+        for per_cores in result.gains.values():
+            assert 4 in per_cores
+        text = result.render()
+        assert "Wt.Speed-up" in text

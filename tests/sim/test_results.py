@@ -1,0 +1,54 @@
+"""Unit tests for result records."""
+
+import pytest
+
+from repro.cpu.core import CoreSnapshot
+from repro.sim.results import SingleRunResult, WorkloadResult
+
+
+def snap(ipc_cycles=(1000.0, 2000.0), llc_misses=10):
+    instructions, cycles = ipc_cycles
+    return CoreSnapshot(
+        instructions=instructions,
+        cycles=cycles,
+        accesses=100,
+        l1_misses=50,
+        l2_misses=30,
+        llc_accesses=30,
+        llc_misses=llc_misses,
+        llc_bypasses=2,
+    )
+
+
+class TestSingleRunResult:
+    def test_ipc_and_mpki_delegate(self):
+        result = SingleRunResult("mcf", "cfg", "tadrrip", snap())
+        assert result.ipc == pytest.approx(0.5)
+        assert result.l2_mpki == pytest.approx(30.0)
+
+    def test_footprints_default_empty(self):
+        result = SingleRunResult("mcf", "cfg", "tadrrip", snap())
+        assert result.footprints == {}
+
+
+class TestWorkloadResult:
+    def _result(self):
+        return WorkloadResult(
+            workload_name="w",
+            benchmarks=("a", "b", "a"),
+            config_name="cfg",
+            policy="lru",
+            snapshots=[snap(), snap((500.0, 2000.0)), snap(llc_misses=99)],
+        )
+
+    def test_ipcs(self):
+        assert self._result().ipcs == [0.5, 0.25, 0.5]
+
+    def test_llc_mpkis(self):
+        result = self._result()
+        assert result.llc_mpkis[0] == pytest.approx(10.0)
+
+    def test_per_app_first_instance_wins(self):
+        per_app = self._result().per_app()
+        assert set(per_app) == {"a", "b"}
+        assert per_app["a"].llc_misses == 10  # core 0's, not core 2's

@@ -1,0 +1,108 @@
+"""Tests for the single- and multi-programmed simulation drivers."""
+
+import pytest
+
+from repro.core.adapt import AdaptPolicy
+from repro.sim.build import build_hierarchy, resolve_policy
+from repro.sim.multi import run_workload
+from repro.sim.single import AloneCache, run_alone
+from repro.trace.workloads import Workload
+
+
+class TestResolvePolicy:
+    def test_adapt_gets_config_knobs(self, tiny_config):
+        policy = resolve_policy("adapt_bp32", tiny_config)
+        policy.bind(tiny_config.llc.num_sets, 16, 2)
+        assert policy.samplers[0].num_monitor_sets == tiny_config.monitor_sets
+
+    def test_instance_passthrough(self, tiny_config):
+        instance = AdaptPolicy()
+        assert resolve_policy(instance, tiny_config) is instance
+
+    def test_plain_names(self, tiny_config):
+        assert resolve_policy("lru", tiny_config).name == "lru"
+
+
+class TestBuildHierarchy:
+    def test_structure(self, tiny_config):
+        h = build_hierarchy(tiny_config, "tadrrip")
+        assert h.num_cores == tiny_config.num_cores
+        assert len(h.l1s) == len(h.l2s) == 4
+        assert h.llc.num_sets == tiny_config.llc.num_sets
+        assert h.llc.policy.name == "tadrrip"
+
+    def test_l2_runs_drrip(self, tiny_config):
+        h = build_hierarchy(tiny_config, "lru")
+        assert h.l2s[0].policy.name == "drrip"
+
+
+class TestRunAlone:
+    def test_returns_sane_snapshot(self, tiny_config):
+        result = run_alone("mcf", tiny_config, quota=1200, warmup=300)
+        assert result.benchmark == "mcf"
+        assert 0 < result.ipc <= 4.0
+        assert result.snapshot.accesses == 1200
+
+    def test_monitor_measures_footprint(self, tiny_config):
+        result = run_alone(
+            "mcf", tiny_config, quota=1500, warmup=0, monitor=True,
+            monitor_all_sets=True,
+        )
+        assert set(result.footprints) == {"sampled", "all"}
+        assert result.footprints["all"] > 0
+
+    def test_thrashing_app_measures_high_footprint(self, tiny_config):
+        lbm = run_alone("lbm", tiny_config, quota=2500, warmup=0, monitor=True)
+        calc = run_alone("calc", tiny_config, quota=2500, warmup=0, monitor=True)
+        assert lbm.footprints["sampled"] > calc.footprints["sampled"]
+
+    def test_unknown_benchmark(self, tiny_config):
+        with pytest.raises(ValueError):
+            run_alone("nosuch", tiny_config)
+
+
+class TestAloneCache:
+    def test_memoises(self, tiny_config):
+        cache = AloneCache(tiny_config, quota=800, warmup=100)
+        first = cache.result("deal")
+        second = cache.result("deal")
+        assert first is second
+
+    def test_ipcs_order(self, tiny_config):
+        cache = AloneCache(tiny_config, quota=800, warmup=100)
+        ipcs = cache.ipcs(("deal", "lbm"))
+        assert ipcs[0] == cache.ipc("deal")
+        assert ipcs[1] == cache.ipc("lbm")
+        assert ipcs[0] > ipcs[1]
+
+
+class TestRunWorkload:
+    def test_shapes(self, tiny_config):
+        workload = Workload("t", ("calc", "lbm", "mcf", "deal"))
+        result = run_workload(workload, tiny_config, "adapt_bp32", quota=1000, warmup=200)
+        assert len(result.snapshots) == 4
+        assert result.benchmarks == workload.benchmarks
+        assert result.policy == "adapt_bp32"
+        assert "adapt" in result.policy_state
+
+    def test_core_count_adapts_to_workload(self, tiny_config):
+        workload = Workload("t", ("calc", "lbm"))
+        result = run_workload(workload, tiny_config, "lru", quota=500, warmup=0)
+        assert len(result.snapshots) == 2
+
+    def test_interference_reduces_ipc(self, tiny_config):
+        alone = run_alone("bzip", tiny_config, quota=1200, warmup=300)
+        shared = run_workload(
+            Workload("t", ("bzip", "lbm", "milc", "STRM")),
+            tiny_config,
+            "lru",
+            quota=1200,
+            warmup=300,
+        )
+        assert shared.snapshots[0].ipc < alone.ipc
+
+    def test_per_app_mapping(self, tiny_config):
+        workload = Workload("t", ("calc", "lbm", "mcf", "deal"))
+        result = run_workload(workload, tiny_config, "lru", quota=400, warmup=0)
+        per_app = result.per_app()
+        assert set(per_app) == set(workload.benchmarks)

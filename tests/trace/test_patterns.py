@@ -1,0 +1,117 @@
+"""Unit tests for the address-pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.trace.patterns import (
+    CyclicPattern,
+    MixedPattern,
+    RandomPattern,
+    ShuffledCyclicPattern,
+    StridedPattern,
+    make_pattern,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestCyclic:
+    def test_sequential_wraparound(self):
+        p = CyclicPattern(span=8)
+        out = p.chunk(12, RNG)
+        assert out.tolist() == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3]
+
+    def test_state_persists_across_chunks(self):
+        p = CyclicPattern(span=8)
+        a = p.chunk(5, RNG).tolist()
+        b = p.chunk(5, RNG).tolist()
+        assert a + b == [(i % 8) for i in range(10)]
+
+    def test_stride(self):
+        p = CyclicPattern(span=8, stride=2)
+        assert p.chunk(4, RNG).tolist() == [0, 2, 4, 6]
+
+    def test_reset(self):
+        p = CyclicPattern(span=8)
+        p.chunk(5, RNG)
+        p.reset()
+        assert p.chunk(1, RNG).tolist() == [0]
+
+
+class TestShuffledCyclic:
+    def test_is_a_permutation_cycle(self):
+        p = ShuffledCyclicPattern(span=16, seed=3)
+        out = p.chunk(16, RNG)
+        assert sorted(out.tolist()) == list(range(16))
+
+    def test_not_sequential(self):
+        p = ShuffledCyclicPattern(span=64, seed=3)
+        out = p.chunk(64, RNG).tolist()
+        assert out != list(range(64))
+
+    def test_same_seed_same_order(self):
+        a = ShuffledCyclicPattern(16, seed=5).chunk(16, RNG).tolist()
+        b = ShuffledCyclicPattern(16, seed=5).chunk(16, RNG).tolist()
+        assert a == b
+
+
+class TestRandom:
+    def test_within_span(self):
+        p = RandomPattern(span=100)
+        out = p.chunk(1000, np.random.default_rng(1))
+        assert out.min() >= 0 and out.max() < 100
+
+    def test_covers_span(self):
+        p = RandomPattern(span=16)
+        out = p.chunk(600, np.random.default_rng(1))
+        assert len(set(out.tolist())) == 16
+
+
+class TestMixed:
+    def test_hot_scan_interleave(self):
+        p = MixedPattern(hot_blocks=4, k=3, scan_blocks=100, d=2)
+        out = p.chunk(10, np.random.default_rng(1)).tolist()
+        # Period 5: positions 0-2 hot (< 4), 3-4 scan (>= 4).
+        for i, v in enumerate(out):
+            if i % 5 < 3:
+                assert v < 4
+            else:
+                assert v >= 4
+
+    def test_scan_advances_monotonically(self):
+        p = MixedPattern(hot_blocks=2, k=1, scan_blocks=50, d=3)
+        out = p.chunk(16, np.random.default_rng(1))
+        scans = [v - 2 for i, v in enumerate(out.tolist()) if i % 4 >= 1]
+        assert scans == sorted(scans)
+
+    def test_span(self):
+        p = MixedPattern(hot_blocks=4, k=3, scan_blocks=100, d=2)
+        assert p.span == 104
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixedPattern(0, 1, 1, 1)
+
+
+class TestStrided:
+    def test_touches_strided_blocks_only(self):
+        p = StridedPattern(span=64, stride=4)
+        out = p.chunk(32, RNG)
+        assert all(v % 4 == 0 for v in out.tolist())
+
+    def test_wraps(self):
+        p = StridedPattern(span=16, stride=4)
+        out = p.chunk(8, RNG).tolist()
+        assert out == [0, 4, 8, 12, 0, 4, 8, 12]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["cyclic", "shuffled", "random", "mixed", "strided"])
+    def test_all_kinds_construct(self, kind):
+        p = make_pattern(kind, span=64)
+        out = p.chunk(16, np.random.default_rng(2))
+        assert len(out) == 16
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_pattern("zigzag", span=8)

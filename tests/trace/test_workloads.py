@@ -1,0 +1,82 @@
+"""Unit tests for the Table 6 workload composer."""
+
+import pytest
+
+from repro.trace.benchmarks import BENCHMARKS
+from repro.trace.workloads import (
+    TABLE6,
+    Workload,
+    design_suite,
+    validate_workload,
+)
+
+
+class TestTable6:
+    def test_suite_counts_match_paper(self):
+        assert TABLE6[4].num_workloads == 120
+        assert TABLE6[8].num_workloads == 80
+        assert TABLE6[16].num_workloads == 60
+        assert TABLE6[20].num_workloads == 40
+        assert TABLE6[24].num_workloads == 40
+
+    @pytest.mark.parametrize("cores", [4, 8, 16, 20, 24])
+    def test_every_workload_satisfies_composition(self, cores):
+        for workload in design_suite(cores):
+            validate_workload(workload)
+
+    def test_subsample_is_prefix(self):
+        full = design_suite(16, 10)
+        sub = design_suite(16, 4)
+        assert [w.benchmarks for w in sub] == [w.benchmarks for w in full[:4]]
+
+    def test_deterministic_in_seed(self):
+        a = design_suite(8, 5, master_seed=3)
+        b = design_suite(8, 5, master_seed=3)
+        assert [w.benchmarks for w in a] == [w.benchmarks for w in b]
+
+    def test_different_seeds_differ(self):
+        a = design_suite(8, 5, master_seed=1)
+        b = design_suite(8, 5, master_seed=2)
+        assert [w.benchmarks for w in a] != [w.benchmarks for w in b]
+
+    def test_no_duplicates_within_workload(self):
+        for workload in design_suite(24, 10):
+            assert len(set(workload.benchmarks)) == workload.cores
+
+    def test_unknown_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            design_suite(12)
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            design_suite(16, 61)
+
+
+class TestWorkload:
+    def test_thrashing_cores(self):
+        workload = Workload("t", ("lbm", "calc", "milc", "deal"))
+        assert workload.thrashing_cores() == [0, 2]
+
+    def test_class_counts(self):
+        workload = Workload("t", ("lbm", "calc", "milc", "deal"))
+        counts = workload.class_counts()
+        assert counts["VH"] == 1 and counts["VL"] == 2 and counts["H"] == 1
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            Workload("t", ("lbm", "nosuch"))
+
+    def test_validate_flags_bad_composition(self):
+        # A 4-core workload with no thrashing app violates Table 6.
+        bad = Workload("4core-bad", ("calc", "deal", "eon", "h26"))
+        with pytest.raises(AssertionError):
+            validate_workload(bad)
+
+    def test_validate_flags_missing_class(self):
+        # 8-core needs one of each class; build one without any VH.
+        bad = Workload(
+            "8core-bad",
+            ("calc", "deal", "eon", "h26", "gcc", "mesa", "art", "bzip"),
+        )
+        with pytest.raises(AssertionError):
+            validate_workload(bad)

@@ -1,0 +1,89 @@
+"""Unit tests for bit/geometry helpers."""
+
+import pytest
+
+from repro.util.bitops import (
+    block_align,
+    ilog2,
+    is_pow2,
+    split_address,
+    xor_bank_index,
+    xor_fold,
+)
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for v in (0, -1, -4, 3, 5, 6, 7, 9, 12, 1000):
+            assert not is_pow2(v)
+
+
+class TestIlog2:
+    def test_values(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(1024) == 10
+        assert ilog2(1 << 31) == 31
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 12, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestBlockAlign:
+    def test_64_byte_blocks(self):
+        assert block_align(0, 64) == 0
+        assert block_align(63, 64) == 0
+        assert block_align(64, 64) == 1
+        assert block_align(0x1234567, 64) == 0x1234567 >> 6
+
+
+class TestSplitAddress:
+    def test_round_trip(self):
+        num_sets = 256
+        for addr in (0, 1, 255, 256, 0xDEADBEEF):
+            tag, set_idx = split_address(addr, num_sets)
+            assert tag * num_sets + set_idx == addr
+            assert 0 <= set_idx < num_sets
+
+    def test_set_index_is_low_bits(self):
+        assert split_address(0x12345, 16) == (0x1234, 5)
+
+
+class TestXorFold:
+    def test_small_values_identity(self):
+        assert xor_fold(5, 10) == 5
+        assert xor_fold(1023, 10) == 1023
+
+    def test_folds_high_bits(self):
+        # 1 << 10 folds onto bit 0 of the second chunk.
+        assert xor_fold(1 << 10, 10) == 1
+
+    def test_width_bound(self):
+        for v in (0, 1, 12345, 0xFFFF_FFFF_FFFF):
+            assert 0 <= xor_fold(v, 14) < (1 << 14)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            xor_fold(1, 0)
+
+
+class TestXorBankIndex:
+    def test_in_range(self):
+        for addr in range(0, 100_000, 137):
+            assert 0 <= xor_bank_index(addr, 8) < 8
+
+    def test_spreads_power_of_two_strides(self):
+        # A stride-256 stream maps to a single bank under naive low-bit
+        # indexing; the XOR permutation must spread it.
+        banks = {xor_bank_index(i * 256, 8) for i in range(64)}
+        assert len(banks) == 8
+
+    def test_rejects_non_pow2_banks(self):
+        with pytest.raises(ValueError):
+            xor_bank_index(0, 6)

@@ -1,0 +1,100 @@
+"""Unit tests for saturating counters and deterministic tickers."""
+
+import pytest
+
+from repro.util.counters import FractionTicker, PselCounter, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_increments_and_saturates_high(self):
+        c = SaturatingCounter(bits=2)
+        assert c.value == 0
+        for expected in (1, 2, 3, 3, 3):
+            assert c.increment() == expected
+        assert c.saturated_high
+
+    def test_decrements_and_saturates_low(self):
+        c = SaturatingCounter(bits=3, initial=2)
+        assert c.decrement() == 1
+        assert c.decrement() == 0
+        assert c.decrement() == 0
+        assert c.saturated_low
+
+    def test_bulk_amounts_clamp(self):
+        c = SaturatingCounter(bits=4)
+        c.increment(100)
+        assert c.value == 15
+        c.decrement(100)
+        assert c.value == 0
+
+    def test_reset(self):
+        c = SaturatingCounter(bits=4, initial=5)
+        c.reset(9)
+        assert c.value == 9
+        with pytest.raises(ValueError):
+            c.reset(16)
+
+    @pytest.mark.parametrize("bits", [0, -1])
+    def test_rejects_bad_bits(self, bits):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=bits)
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+
+class TestPselCounter:
+    def test_starts_just_below_threshold(self):
+        psel = PselCounter(bits=10)
+        assert psel.value == 511
+        assert psel.threshold == 512
+
+    def test_initial_state_selects_first_policy(self):
+        # DIP convention: MSB 0 until the duel produces evidence.
+        assert not PselCounter(bits=10).selects_second
+
+    def test_crossing_threshold_selects_second(self):
+        psel = PselCounter(bits=10)
+        psel.increment()
+        assert psel.selects_second
+        psel.decrement()
+        assert not psel.selects_second
+
+    def test_ten_bit_range(self):
+        psel = PselCounter(bits=10)
+        psel.increment(10_000)
+        assert psel.value == 1023
+        psel.decrement(10_000)
+        assert psel.value == 0
+
+
+class TestFractionTicker:
+    def test_fires_exactly_once_per_window(self):
+        t = FractionTicker(16)
+        fires = [t.tick() for _ in range(160)]
+        assert sum(fires) == 10
+        # Once per window of 16, always the same phase.
+        for start in range(0, 160, 16):
+            assert sum(fires[start : start + 16]) == 1
+
+    def test_phase_controls_fire_position(self):
+        t = FractionTicker(4, phase=2)
+        assert [t.tick() for t_ in range(4)] == [False, False, True, False]
+
+    def test_denominator_one_always_fires(self):
+        t = FractionTicker(1)
+        assert all(t.tick() for _ in range(5))
+
+    def test_reset_restarts_window(self):
+        t = FractionTicker(8)
+        t.tick()
+        t.tick()
+        t.reset()
+        assert t.tick() is True
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            FractionTicker(0)
+        with pytest.raises(ValueError):
+            FractionTicker(4, phase=4)

@@ -1,0 +1,59 @@
+"""Unit tests for the mean helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    normalize_series,
+)
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+
+    def test_geometric(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_harmonic(self):
+        assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+
+    def test_mean_inequality(self):
+        # HM <= GM <= AM for positive, non-constant data.
+        values = [0.5, 1.0, 2.5, 4.0]
+        assert harmonic_mean(values) < geometric_mean(values) < arithmetic_mean(values)
+
+    def test_single_value_all_equal(self):
+        for mean in (arithmetic_mean, geometric_mean, harmonic_mean):
+            assert mean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        for mean in (arithmetic_mean, geometric_mean, harmonic_mean):
+            with pytest.raises(ValueError):
+                mean([])
+
+    def test_nonpositive_rejected_for_gm_hm(self):
+        for mean in (geometric_mean, harmonic_mean):
+            with pytest.raises(ValueError):
+                mean([1.0, 0.0])
+            with pytest.raises(ValueError):
+                mean([1.0, -2.0])
+
+
+class TestNormalizeSeries:
+    def test_elementwise_ratio(self):
+        assert normalize_series([2, 9], [4, 3]) == [0.5, 3.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_series([1], [1, 2])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_series([1.0], [0.0])
