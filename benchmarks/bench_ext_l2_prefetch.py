@@ -10,7 +10,7 @@ Footprint-number monitor and replacement recency ignore it, per footnote 4).
 
 from dataclasses import replace
 
-from repro.experiments.common import Runner, geometric_mean_gain
+from repro.experiments.common import geometric_mean_gain
 
 
 def _gain(runner, config, workloads):

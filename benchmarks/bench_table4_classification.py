@@ -12,7 +12,9 @@ from repro.trace.benchmarks import BENCHMARKS
 
 def test_table4_classification(benchmark, runner, save_result):
     result = benchmark.pedantic(
-        lambda: run_table4(runner.config, runner.settings), rounds=1, iterations=1
+        lambda: run_table4(runner.config, runner.settings, pool=runner.pool),
+        rounds=1,
+        iterations=1,
     )
     save_result("table4_classification", result.render())
 
@@ -25,7 +27,9 @@ def test_table4_classification(benchmark, runner, save_result):
     # The thrashing/non-thrashing split is the property ADAPT relies on.
     for name, row in by_name.items():
         if BENCHMARKS[name].thrashing:
-            assert row.fpn_sampled >= 14, f"{name} should look thrashing, Fpn={row.fpn_sampled:.1f}"
+            assert row.fpn_sampled >= 14, (
+                f"{name} should look thrashing, Fpn={row.fpn_sampled:.1f}"
+            )
     # Sampling fidelity (paper: only vpr differs by more than 1; we allow a
     # modest band since the 16-entry sampled arrays saturate earlier).
     for row in result.rows:

@@ -4,6 +4,12 @@ A single session-scoped :class:`~repro.experiments.common.Runner` memoises
 every workload run and IPC_alone baseline, so e.g. the Figure 4/5 bench
 reuses the Figure 3 bench's TA-DRRIP runs instead of re-simulating them.
 
+The runner executes through the :mod:`repro.runner` process pool
+(``REPRO_JOBS`` workers) and persists completed runs in a result store
+under ``benchmarks/results/store/`` (override with ``REPRO_RESULTS_DIR``;
+set ``REPRO_BENCH_NO_STORE=1`` to disable persistence), so a re-run of
+the bench suite at the same scale performs no new simulation.
+
 Each bench writes its rendered paper-style rows to
 ``benchmarks/results/<name>.txt`` (and stdout), so the regenerated tables
 and series survive pytest's output capture.
@@ -11,6 +17,7 @@ and series survive pytest's output capture.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -21,9 +28,20 @@ from repro.sim.config import SystemConfig
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _store_dir() -> Path | None:
+    if os.environ.get("REPRO_BENCH_NO_STORE"):
+        return None
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    return Path(override) if override else RESULTS_DIR / "store"
+
+
 @pytest.fixture(scope="session")
 def runner() -> Runner:
-    return Runner(SystemConfig.scaled(16), ExperimentSettings.from_env())
+    return Runner(
+        SystemConfig.scaled(16),
+        ExperimentSettings.from_env(),
+        results_dir=_store_dir(),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -25,6 +25,7 @@ Packages
 :mod:`repro.cpu`      — behavioural cores, event-driven multicore engine.
 :mod:`repro.trace`    — the 36 synthetic Table 4 benchmarks, Table 6 suites.
 :mod:`repro.sim`      — configurations and runners.
+:mod:`repro.runner`   — parallel job pool and persistent result store.
 :mod:`repro.metrics`  — weighted speed-up and the other Table 7 metrics.
 :mod:`repro.experiments` — one module per paper table/figure.
 """
@@ -32,6 +33,7 @@ Packages
 from repro.core import AdaptPolicy, FootprintSampler, InsertionPriorityPredictor, PriorityBucket
 from repro.metrics import compute_all_metrics, weighted_speedup
 from repro.policies import PAPER_POLICIES, available_policies, make_policy
+from repro.runner import ParallelRunner, PolicySpec, ResultStore
 from repro.sim import (
     AloneCache,
     SystemConfig,
@@ -53,6 +55,9 @@ __all__ = [
     "PAPER_POLICIES",
     "available_policies",
     "make_policy",
+    "ParallelRunner",
+    "PolicySpec",
+    "ResultStore",
     "AloneCache",
     "SystemConfig",
     "build_hierarchy",

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cache.hierarchy import CacheHierarchy
 from repro.cpu.engine import MulticoreEngine
 from repro.policies.base import ReplacementPolicy
 from repro.sim.build import build_hierarchy, build_sources

@@ -18,7 +18,7 @@ Per-core bookkeeping (instructions, cycles, completion snapshots) lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.trace.benchmarks import TraceSource
 
@@ -35,6 +35,14 @@ class CoreSnapshot:
     llc_accesses: int
     llc_misses: int
     llc_bypasses: int
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict; floats survive the round-trip bit-exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreSnapshot":
+        return cls(**data)
 
     @property
     def ipc(self) -> float:

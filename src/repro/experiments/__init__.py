@@ -28,7 +28,12 @@ from repro.experiments.common import (
     Runner,
     scale_factor,
 )
-from repro.experiments.fig1 import Fig1Result, forced_tadrrip, run_fig1
+from repro.experiments.fig1 import (
+    Fig1Result,
+    forced_tadrrip,
+    forced_tadrrip_spec,
+    run_fig1,
+)
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.experiments.fig7 import Fig7Result, run_fig7
 from repro.experiments.perapp import PerAppResult, run_perapp
@@ -49,6 +54,7 @@ __all__ = [
     "scale_factor",
     "Fig1Result",
     "forced_tadrrip",
+    "forced_tadrrip_spec",
     "run_fig1",
     "Fig6Result",
     "run_fig6",

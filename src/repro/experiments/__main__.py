@@ -4,16 +4,24 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments table2
-    python -m repro.experiments fig3 [--cores 16]
-    REPRO_SCALE=2 python -m repro.experiments fig8
+    python -m repro.experiments fig3 [--cores 16] [--jobs 8]
+    REPRO_SCALE=2 python -m repro.experiments fig8 --results-dir results
+
+(also installed as the ``repro-experiments`` console script.)
 
 Simulation-backed experiments honour ``REPRO_SCALE`` exactly like the
-pytest benches do, and share one memoising runner per invocation.
+pytest benches do, and share one memoising runner per invocation.  Runs
+are sharded over ``--jobs`` worker processes (default: ``REPRO_JOBS`` or
+the CPU count) and persisted in the ``--results-dir`` store (default
+``results/``), so a repeated invocation — or a later figure that shares
+runs with an earlier one — performs no new simulation.  ``--no-cache``
+forces fresh simulations; ``--results-dir ''`` disables the store.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.ablation import (
@@ -45,6 +53,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or CPU count; 1 = inline)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="persistent result store root ('' disables the store)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the result store and simulate everything fresh",
+    )
     args = parser.parse_args(argv)
 
     names = (
@@ -62,7 +86,13 @@ def main(argv: list[str] | None = None) -> int:
         settings = ExperimentSettings(
             master_seed=args.seed, workloads=settings.workloads
         )
-    runner = Runner(config, settings)
+    runner = Runner(
+        config,
+        settings,
+        jobs=args.jobs,
+        results_dir=args.results_dir or None,
+        use_cache=not args.no_cache,
+    )
 
     if args.experiment == "fig1":
         print(run_fig1(runner, args.cores).render())
@@ -86,7 +116,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.experiment == "table3":
         print(render_table3(config))
     elif args.experiment == "table4":
-        print(run_table4(config, settings).render())
+        print(run_table4(config, settings, pool=runner.pool).render())
     elif args.experiment == "table6":
         print(render_table6(settings.master_seed))
     elif args.experiment == "table7":
@@ -95,8 +125,25 @@ def main(argv: list[str] | None = None) -> int:
         print(run_priority_range_ablation(runner).render())
         print(run_interval_ablation(runner).render())
         print(run_monitor_sets_ablation(runner).render())
+    print(runner.cache_summary(), file=sys.stderr)
     return 0
 
 
+def cli() -> int:
+    """Console-script entry point: tolerate downstream pipes closing early.
+
+    ``repro-experiments fig3 | head`` must not traceback: flush what we
+    can, then exit with the conventional SIGPIPE status.
+    """
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 128 + 13
+    return code
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli())

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.adapt import AdaptPolicy
 from repro.experiments.common import Runner, geometric_mean_gain
+from repro.runner import PolicySpec
 
 
 @dataclass
@@ -32,26 +32,36 @@ class AblationResult:
         return "\n".join(lines)
 
 
-def _adapt_for(runner: Runner, **overrides) -> AdaptPolicy:
+def _adapt_spec(runner: Runner, **overrides) -> PolicySpec:
+    """ADAPT with the runner's monitor geometry plus study overrides.
+
+    A serialisable spec rather than a live policy, so ablation points run
+    through the process pool and land in the persistent result store.
+    """
     config = runner.config
     kwargs = dict(
-        bypass_least=True,
         num_monitor_sets=config.monitor_sets,
         monitor_entries=config.monitor_entries,
         partial_tag_bits=config.partial_tag_bits,
     )
     kwargs.update(overrides)
-    return AdaptPolicy(**kwargs)
+    return PolicySpec.of("adapt_bp32", **kwargs)
 
 
 def _mean_gain(
-    runner: Runner, cores: int, policy_factory, config=None, max_workloads: int = 3
+    runner: Runner,
+    cores: int,
+    policy: PolicySpec,
+    config=None,
+    max_workloads: int = 3,
 ) -> float:
     config = config or runner.config.with_cores(cores)
+    suite = runner.settings.suite(cores)[:max_workloads]
+    runner.prefetch(suite, ("tadrrip", policy), config)
     ratios = []
-    for workload in runner.settings.suite(cores)[:max_workloads]:
+    for workload in suite:
         base = runner.weighted_speedup(workload, "tadrrip", config)
-        ratios.append(runner.weighted_speedup(workload, policy_factory(), config) / base)
+        ratios.append(runner.weighted_speedup(workload, policy, config) / base)
     return geometric_mean_gain(ratios)
 
 
@@ -69,9 +79,7 @@ def run_priority_range_ablation(
                 continue
             label = f"HP<={high:g}, MP<={medium:g}"
             gains[label] = _mean_gain(
-                runner,
-                cores,
-                lambda h=high, m=medium: _adapt_for(runner, high_max=h, medium_max=m),
+                runner, cores, _adapt_spec(runner, high_max=high, medium_max=medium)
             )
     return AblationResult("priority ranges (Section 3.2 sweep)", gains)
 
@@ -90,7 +98,7 @@ def run_interval_ablation(
             name=f"{runner.config.with_cores(cores).name}-int{mult}x",
         )
         gains[f"interval = {mult}x LLC blocks"] = _mean_gain(
-            runner, cores, lambda: _adapt_for(runner), config
+            runner, cores, _adapt_spec(runner), config
         )
     return AblationResult("monitoring interval (Section 3.1 sweep)", gains)
 
@@ -104,6 +112,6 @@ def run_monitor_sets_ablation(
     gains = {}
     for count in set_counts:
         gains[f"{count} monitor sets"] = _mean_gain(
-            runner, cores, lambda c=count: _adapt_for(runner, num_monitor_sets=c)
+            runner, cores, _adapt_spec(runner, num_monitor_sets=count)
         )
     return AblationResult("monitor set count (Section 3.1)", gains)

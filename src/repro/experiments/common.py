@@ -1,9 +1,23 @@
 """Shared infrastructure for the paper-figure experiments.
 
 All experiments run through a :class:`Runner`, which owns the system
-configuration, memoises IPC_alone baselines and caches multi-programmed
-runs so that e.g. Figure 3's TA-DRRIP runs are reused by Figure 4/5's
-per-application analysis and Table 7's metric table.
+configuration and layers three caches over the simulation drivers:
+
+* **L1** — an in-process memo of :class:`WorkloadResult`s and
+  ``IPC_alone`` baselines, so e.g. Figure 3's TA-DRRIP runs are reused by
+  Figure 4/5's per-application analysis and Table 7's metric table within
+  one invocation;
+* **L2** — an optional persistent :class:`~repro.runner.store.ResultStore`
+  (``results_dir``), keyed by a stable hash of workload + configuration +
+  policy + budgets + master seed, so results are shared *across*
+  invocations;
+* **execution** — a :class:`~repro.runner.parallel.ParallelRunner` that
+  shards cache misses over a process pool (``jobs`` workers, defaulting
+  to ``REPRO_JOBS`` / CPU count).
+
+Figure modules call :meth:`Runner.prefetch` up front with every
+(workload, policy) pair they are about to consume; the pool simulates the
+misses in parallel and the figures' sequential loops then hit the L1 memo.
 
 Budgets honour the ``REPRO_SCALE`` environment variable: ``REPRO_SCALE=1``
 (default) runs a representative subsample of each suite in CI-friendly
@@ -13,10 +27,13 @@ time; larger values approach the paper's full workload counts.
 from __future__ import annotations
 
 import os
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.metrics.throughput import compute_all_metrics, weighted_speedup
 from repro.policies.base import ReplacementPolicy
+from repro.runner import ParallelRunner, PolicySpec, ResultStore, WorkloadJob, policy_key
 from repro.sim.config import SystemConfig
 from repro.sim.multi import run_workload
 from repro.sim.results import WorkloadResult
@@ -85,11 +102,33 @@ def config_for_cores(base: SystemConfig, cores: int) -> SystemConfig:
 
 
 class Runner:
-    """Memoising front-end over the simulation drivers."""
+    """Memoising, parallelising front-end over the simulation drivers.
 
-    def __init__(self, config: SystemConfig, settings: ExperimentSettings | None = None):
+    Parameters
+    ----------
+    jobs:
+        Worker-process count for cache misses (``None`` → ``REPRO_JOBS`` /
+        CPU count; ``1`` → everything runs inline in this process).
+    results_dir:
+        Root of the persistent result store; ``None`` disables the store
+        and keeps only the in-process memo.
+    use_cache:
+        When ``False``, the persistent store is bypassed entirely.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        settings: ExperimentSettings | None = None,
+        *,
+        jobs: int | None = None,
+        results_dir: str | Path | None = None,
+        use_cache: bool = True,
+    ):
         self.config = config
         self.settings = settings or ExperimentSettings.from_env()
+        self.store = ResultStore(results_dir) if results_dir else None
+        self.pool = ParallelRunner(jobs=jobs, store=self.store, use_cache=use_cache)
         self._alone_caches: dict[str, AloneCache] = {}
         self._runs: dict[tuple[str, str, str], WorkloadResult] = {}
 
@@ -103,6 +142,7 @@ class Runner:
                 quota=self.settings.alone_quota,
                 warmup=self.settings.alone_warmup,
                 master_seed=self.settings.master_seed,
+                pool=self.pool,
             )
             self._alone_caches[config.name] = cache
         return cache
@@ -113,37 +153,113 @@ class Runner:
 
     # -- multi-programmed runs -----------------------------------------------------
 
+    def _memo_key(
+        self,
+        workload: Workload,
+        policy: str | PolicySpec | ReplacementPolicy,
+        config: SystemConfig,
+    ) -> tuple[str, str, str]:
+        if isinstance(policy, ReplacementPolicy):
+            label = f"obj:{policy.name}:{id(policy)}"
+        else:
+            label = policy_key(policy)
+        return (workload.name, label, config.name)
+
+    def _job(
+        self, workload: Workload, policy: str | PolicySpec, config: SystemConfig
+    ) -> WorkloadJob:
+        # Canonicalise the config to the workload's core count so every
+        # call site derives the same cache key for the same effective run.
+        if workload.cores != config.num_cores:
+            config = config.with_cores(workload.cores)
+        return WorkloadJob.for_workload(
+            workload,
+            config,
+            policy,
+            quota=self.settings.quota,
+            warmup=self.settings.warmup,
+            master_seed=self.settings.master_seed,
+        )
+
     def run(
         self,
         workload: Workload,
-        policy: str | ReplacementPolicy,
+        policy: str | PolicySpec | ReplacementPolicy,
         config: SystemConfig | None = None,
     ) -> WorkloadResult:
         config = config or self.config
-        key = (
-            workload.name,
-            policy if isinstance(policy, str) else f"obj:{policy.name}:{id(policy)}",
-            config.name,
-        )
+        key = self._memo_key(workload, policy, config)
         result = self._runs.get(key)
         if result is None:
-            result = run_workload(
-                workload,
-                config,
-                policy,
-                quota=self.settings.quota,
-                warmup=self.settings.warmup,
-                master_seed=self.settings.master_seed,
-            )
+            if isinstance(policy, ReplacementPolicy):
+                # Live policy objects are not serialisable: run in-process,
+                # bypassing the pool and the persistent store.
+                result = run_workload(
+                    workload,
+                    config,
+                    policy,
+                    quota=self.settings.quota,
+                    warmup=self.settings.warmup,
+                    master_seed=self.settings.master_seed,
+                )
+            else:
+                result = self.pool.run_one(self._job(workload, policy, config))
             self._runs[key] = result
         return result
+
+    def prefetch(
+        self,
+        workloads: Iterable[Workload],
+        policies: Iterable[str | PolicySpec],
+        config: SystemConfig | None = None,
+        *,
+        alone: bool = True,
+    ) -> None:
+        """Batch-simulate every missing (workload, policy) pair in parallel.
+
+        Also prefetches the ``IPC_alone`` baselines of every benchmark in
+        *workloads* (unless ``alone=False``), since the throughput metrics
+        need them immediately after.
+        """
+        workloads = list(workloads)
+        policies = list(policies)
+        self.prefetch_pairs(
+            ((w, p) for w in workloads for p in policies), config, alone=alone
+        )
+
+    def prefetch_pairs(
+        self,
+        pairs: Iterable[tuple[Workload, str | PolicySpec]],
+        config: SystemConfig | None = None,
+        *,
+        alone: bool = True,
+    ) -> None:
+        """Like :meth:`prefetch` but over explicit (workload, policy) pairs —
+        Figure 1's per-workload forced-BRRIP variants need this shape."""
+        config = config or self.config
+        pending: list[tuple[tuple[str, str, str], WorkloadJob]] = []
+        seen: set[tuple[str, str, str]] = set()
+        benchmarks: set[str] = set()
+        for workload, policy in pairs:
+            benchmarks.update(workload.benchmarks)
+            key = self._memo_key(workload, policy, config)
+            if key in self._runs or key in seen:
+                continue
+            seen.add(key)
+            pending.append((key, self._job(workload, policy, config)))
+        if pending:
+            results = self.pool.run([job for _, job in pending])
+            for (key, _), result in zip(pending, results):
+                self._runs[key] = result
+        if alone and benchmarks:
+            self._alone_cache(config).prefetch(sorted(benchmarks))
 
     # -- derived metrics ----------------------------------------------------------------
 
     def weighted_speedup(
         self,
         workload: Workload,
-        policy: str | ReplacementPolicy,
+        policy: str | PolicySpec | ReplacementPolicy,
         config: SystemConfig | None = None,
     ) -> float:
         result = self.run(workload, policy, config)
@@ -152,7 +268,7 @@ class Runner:
     def relative_ws(
         self,
         workload: Workload,
-        policy: str | ReplacementPolicy,
+        policy: str | PolicySpec | ReplacementPolicy,
         config: SystemConfig | None = None,
         baseline: str = BASELINE_POLICY,
     ) -> float:
@@ -164,11 +280,23 @@ class Runner:
     def all_metrics(
         self,
         workload: Workload,
-        policy: str | ReplacementPolicy,
+        policy: str | PolicySpec | ReplacementPolicy,
         config: SystemConfig | None = None,
     ) -> dict[str, float]:
         result = self.run(workload, policy, config)
         return compute_all_metrics(result.ipcs, self.alone_ipcs(workload, config))
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def cache_summary(self) -> str:
+        """One line describing how much work the caches saved."""
+        stats = self.pool.stats
+        where = f" in {self.store.root}" if self.store else ""
+        return (
+            f"runner: {stats['executed']} simulated, "
+            f"{stats['store_hits']} from store{where}, "
+            f"{len(self._runs)} workload runs memoised"
+        )
 
 
 def format_series(label: str, values: list[float]) -> str:

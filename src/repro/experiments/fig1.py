@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.experiments.common import Runner, geometric_mean_gain
 from repro.metrics.cachestats import average_by_app, mpki_reduction_percent
 from repro.policies.tadrrip import TaDrripPolicy
+from repro.runner import PolicySpec
 from repro.trace.benchmarks import BENCHMARKS
 from repro.trace.workloads import Workload
 
@@ -24,6 +25,15 @@ def forced_tadrrip(workload: Workload, leader_sets: int = 32) -> TaDrripPolicy:
     """TA-DRRIP with BRRIP forced on the workload's thrashing cores."""
     return TaDrripPolicy(
         leader_sets=leader_sets, forced_brrip_cores=workload.thrashing_cores()
+    )
+
+
+def forced_tadrrip_spec(workload: Workload, leader_sets: int = 32) -> PolicySpec:
+    """Serialisable description of :func:`forced_tadrrip` (pool/store friendly)."""
+    return PolicySpec.of(
+        "tadrrip",
+        leader_sets=leader_sets,
+        forced_brrip_cores=workload.thrashing_cores(),
     )
 
 
@@ -67,16 +77,23 @@ def run_fig1(runner: Runner, cores: int = 16) -> Fig1Result:
         "TA-DRRIP(SD=128)": [],
         "TA-DRRIP(forced)": [],
     }
+
+    def variants_for(workload: Workload) -> dict[str, PolicySpec]:
+        return {
+            "TA-DRRIP(SD=64)": PolicySpec.of("tadrrip", leader_sets=64),
+            "TA-DRRIP(SD=128)": PolicySpec.of("tadrrip", leader_sets=128),
+            "TA-DRRIP(forced)": forced_tadrrip_spec(workload),
+        }
+
+    runner.prefetch_pairs(
+        ((w, p) for w in suite for p in ["tadrrip", *variants_for(w).values()]),
+        config,
+    )
     reduction_rows: list[dict[str, float]] = []
     for workload in suite:
         base_ws = runner.weighted_speedup(workload, "tadrrip", config)
         base_apps = runner.run(workload, "tadrrip", config).per_app()
-        variants = {
-            "TA-DRRIP(SD=64)": TaDrripPolicy(leader_sets=64),
-            "TA-DRRIP(SD=128)": TaDrripPolicy(leader_sets=128),
-            "TA-DRRIP(forced)": forced_tadrrip(workload),
-        }
-        for label, policy in variants.items():
+        for label, policy in variants_for(workload).items():
             ws = runner.weighted_speedup(workload, policy, config)
             ratios[label].append(ws / base_ws)
             if label == "TA-DRRIP(forced)":

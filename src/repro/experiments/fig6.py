@@ -40,6 +40,10 @@ class Fig6Result:
 def run_fig6(runner: Runner, cores: int = 16) -> Fig6Result:
     config = runner.config.with_cores(cores)
     suite = runner.settings.suite(cores)
+    all_policies = {"tadrrip"}
+    for _, ins_name, byp_name in PAIRS:
+        all_policies.update((ins_name, byp_name))
+    runner.prefetch(suite, sorted(all_policies), config)
     bars: dict[str, tuple[float, float]] = {}
     for label, ins_name, byp_name in PAIRS:
         ins_ratios, byp_ratios = [], []

@@ -40,6 +40,7 @@ def run_fig7(
         for cores in core_counts:
             config = runner.config.with_cores(cores).with_llc(ways=ways)
             suite = runner.settings.suite(cores)[:max_workloads]
+            runner.prefetch(suite, ("tadrrip", "adapt_bp32"), config)
             ratios = []
             for workload in suite:
                 base = runner.weighted_speedup(workload, "tadrrip", config)

@@ -54,6 +54,7 @@ def run_perapp(
     """Per-application averages over a suite (Figures 4 and 5)."""
     config = runner.config.with_cores(cores)
     suite = runner.settings.suite(cores)
+    runner.prefetch(suite, (BASELINE_POLICY, *policies), config)
     mpki_rows: dict[str, list[dict[str, float]]] = {p: [] for p in policies}
     ipc_rows: dict[str, list[dict[str, float]]] = {p: [] for p in policies}
     for workload in suite:

@@ -62,6 +62,7 @@ def run_scurve(
     """
     config = config or config_for_cores(runner.config, cores)
     suite = runner.settings.suite(cores)
+    runner.prefetch(suite, (BASELINE_POLICY, *policies), config)
     ratios: dict[str, list[float]] = {p: [] for p in policies}
     for workload in suite:
         base = runner.weighted_speedup(workload, BASELINE_POLICY, config)

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 
 from repro.analysis.classification import ClassifiedBenchmark, classify
 from repro.experiments.common import ExperimentSettings
+from repro.runner import AloneJob, ParallelRunner
 from repro.sim.config import SystemConfig
+from repro.sim.results import SingleRunResult
 from repro.sim.single import run_alone
 from repro.trace.benchmarks import BENCHMARKS
 
@@ -35,19 +37,24 @@ class Table4Result:
         return "\n".join(lines)
 
 
-def characterise(
+def _characterisation_job(
     benchmark: str, config: SystemConfig, settings: ExperimentSettings
-) -> ClassifiedBenchmark:
-    """One Table 4 row."""
-    result = run_alone(
-        benchmark,
-        config,
+) -> AloneJob:
+    # run_alone simulates a single-core platform; canonicalise the job's
+    # config to match so cache keys are shared across suite core counts.
+    return AloneJob(
+        benchmark=benchmark,
+        config=config.with_cores(1),
+        policy="tadrrip",
         quota=settings.alone_quota,
         warmup=settings.alone_warmup,
         master_seed=settings.master_seed,
         monitor=True,
         monitor_all_sets=True,
     )
+
+
+def _row_from_result(benchmark: str, result: SingleRunResult) -> ClassifiedBenchmark:
     fpn_all = result.footprints.get("all", 0.0)
     fpn_sampled = result.footprints.get("sampled", 0.0)
     mpki = result.l2_mpki
@@ -61,9 +68,34 @@ def characterise(
     )
 
 
+def characterise(
+    benchmark: str, config: SystemConfig, settings: ExperimentSettings
+) -> ClassifiedBenchmark:
+    """One Table 4 row (in-process; see :func:`run_table4` for the batch path)."""
+    job = _characterisation_job(benchmark, config, settings)
+    result = run_alone(
+        benchmark,
+        config,
+        quota=job.quota,
+        warmup=job.warmup,
+        master_seed=job.master_seed,
+        monitor=True,
+        monitor_all_sets=True,
+    )
+    return _row_from_result(benchmark, result)
+
+
 def run_table4(
-    config: SystemConfig, settings: ExperimentSettings | None = None
+    config: SystemConfig,
+    settings: ExperimentSettings | None = None,
+    pool: ParallelRunner | None = None,
 ) -> Table4Result:
+    """Characterise all 36 benchmarks, fanned out over *pool* when given."""
     settings = settings or ExperimentSettings.from_env()
-    rows = [characterise(name, config, settings) for name in BENCHMARKS]
-    return Table4Result(rows=rows)
+    pool = pool or ParallelRunner()
+    names = list(BENCHMARKS)
+    jobs = [_characterisation_job(name, config, settings) for name in names]
+    results = pool.run(jobs)
+    return Table4Result(
+        rows=[_row_from_result(name, r) for name, r in zip(names, results)]
+    )

@@ -40,6 +40,7 @@ def run_table7(
     for cores in core_counts:
         config = config_for_cores(runner.config, cores)
         suite = runner.settings.suite(cores)
+        runner.prefetch(suite, ("tadrrip", policy), config)
         ratios: dict[str, list[float]] = {m: [] for m in METRIC_NAMES}
         for workload in suite:
             base = runner.all_metrics(workload, "tadrrip", config)

@@ -18,9 +18,13 @@ from __future__ import annotations
 class VpcArbiter:
     """Fair-queueing arbiter with per-core virtual clocks."""
 
-    __slots__ = ("num_cores", "service_cycles", "window", "_virtual", "throttled", "requests")
+    __slots__ = (
+        "num_cores", "service_cycles", "window", "_virtual", "throttled", "requests"
+    )
 
-    def __init__(self, num_cores: int, service_cycles: float = 4.0, window: float = 256.0) -> None:
+    def __init__(
+        self, num_cores: int, service_cycles: float = 4.0, window: float = 256.0
+    ) -> None:
         if num_cores < 1:
             raise ValueError("need at least one core")
         self.num_cores = num_cores

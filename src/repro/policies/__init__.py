@@ -19,6 +19,7 @@ from repro.policies.random_ import RandomPolicy
 from repro.policies.registry import PAPER_POLICIES, available_policies, make_policy
 from repro.policies.rrip import BrripPolicy, RripPolicyBase, SrripPolicy
 from repro.policies.ship import ShipPolicy
+from repro.policies.spec import PolicySpec, policy_key
 from repro.policies.tadrrip import TaDrripPolicy
 
 __all__ = [
@@ -42,4 +43,6 @@ __all__ = [
     "PAPER_POLICIES",
     "available_policies",
     "make_policy",
+    "PolicySpec",
+    "policy_key",
 ]

@@ -1,0 +1,73 @@
+"""Serialisable policy descriptions.
+
+A :class:`PolicySpec` is a policy *description* — registry name plus
+constructor arguments — rather than a live
+:class:`~repro.policies.base.ReplacementPolicy` instance.  Specs are
+hashable, JSON-serialisable and rebuildable in a worker process, which is
+what lets parameterised policies (Figure 1's duelling-set variants, the
+ablation sweeps) travel through the :mod:`repro.runner` process pool and
+land in the persistent result store under stable cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _canonical(value):
+    """Canonicalise a policy kwarg for hashing/serialisation.
+
+    Collection-valued kwargs (e.g. ``forced_brrip_cores``) are treated as
+    unordered sets: sorted into tuples so that every spelling of the same
+    logical value hashes to the same cache key.
+    """
+    if isinstance(value, (frozenset, set, list, tuple)):
+        return tuple(sorted(value))
+    return value
+
+
+def _as_jsonable(value):
+    return list(value) if isinstance(value, tuple) else value
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy description: registry name + constructor arguments."""
+
+    name: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def of(name: str, **kwargs) -> "PolicySpec":
+        items = tuple(sorted((k, _canonical(v)) for k, v in kwargs.items()))
+        return PolicySpec(name=name, kwargs=items)
+
+    def build(self, config):
+        """Instantiate the policy, wiring ADAPT monitor knobs from *config*."""
+        from repro.policies.registry import make_policy
+
+        kwargs = dict(self.kwargs)
+        if self.name.partition("+")[0].startswith("adapt"):
+            kwargs.setdefault("num_monitor_sets", config.monitor_sets)
+            kwargs.setdefault("monitor_entries", config.monitor_entries)
+            kwargs.setdefault("partial_tag_bits", config.partial_tag_bits)
+        return make_policy(self.name, **kwargs)
+
+    def key(self) -> str:
+        """A compact, human-readable identity used in memo keys and labels."""
+        if not self.kwargs:
+            return self.name
+        args = ",".join(f"{k}={v!r}" for k, v in self.kwargs)
+        return f"{self.name}{{{args}}}"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kwargs": {k: _as_jsonable(v) for k, v in self.kwargs}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicySpec":
+        return PolicySpec.of(data["name"], **data.get("kwargs", {}))
+
+
+def policy_key(policy: str | PolicySpec) -> str:
+    """The memo/label identity of a policy designation."""
+    return policy if isinstance(policy, str) else policy.key()

@@ -1,0 +1,40 @@
+"""Parallel experiment execution with a persistent result store.
+
+The subsystem has three pieces:
+
+* :mod:`repro.runner.jobs` — serialisable job descriptions
+  (:class:`WorkloadJob`, :class:`AloneJob`, :class:`PolicySpec`) with
+  stable content-addressed cache keys;
+* :mod:`repro.runner.store` — :class:`ResultStore`, one JSON file per
+  completed job under a ``results/`` directory, shared across invocations;
+* :mod:`repro.runner.parallel` — :class:`ParallelRunner`, which fans job
+  batches out over a process pool (``REPRO_JOBS`` workers, default
+  ``os.cpu_count()``) and reads/writes the store around each run.
+
+The experiments layer (:class:`repro.experiments.common.Runner`) sits on
+top, keeping its in-process memo as the L1 cache above the store.
+"""
+
+from repro.policies.spec import PolicySpec, policy_key
+from repro.runner.jobs import (
+    SCHEMA_VERSION,
+    AloneJob,
+    Job,
+    WorkloadJob,
+    job_from_dict,
+)
+from repro.runner.parallel import ParallelRunner, default_jobs
+from repro.runner.store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AloneJob",
+    "Job",
+    "ParallelRunner",
+    "PolicySpec",
+    "ResultStore",
+    "WorkloadJob",
+    "default_jobs",
+    "job_from_dict",
+    "policy_key",
+]

@@ -1,0 +1,202 @@
+"""Serialisable job descriptions for the experiment runner.
+
+A *job* is a self-contained, picklable description of one simulation:
+either a multi-programmed workload run (:class:`WorkloadJob`, executed by
+:func:`repro.sim.multi.run_workload`) or a single-application baseline run
+(:class:`AloneJob`, executed by :func:`repro.sim.single.run_alone`).
+
+Jobs round-trip through ``to_dict``/``from_dict`` so they can cross
+process boundaries as plain JSON-safe payloads, and every job derives a
+stable :meth:`cache_key` — a SHA-256 over its canonical JSON form, i.e.
+over workload composition + full system configuration + policy + quotas +
+master seed.  The key is what the persistent result store is indexed by,
+so two invocations (or two different figures) that need the same run share
+one simulation.
+
+Policies with constructor arguments (Figure 1's duelling-set variants, the
+ablation sweeps) are described by :class:`~repro.policies.spec.PolicySpec`
+— a name plus canonicalised keyword arguments — instead of live policy
+objects, which keeps those runs serialisable and cacheable too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.policies.spec import PolicySpec
+from repro.sim.config import SystemConfig
+from repro.sim.results import SingleRunResult, WorkloadResult
+from repro.trace.workloads import Workload
+
+#: Bump when the job/result encoding changes incompatibly; part of every
+#: cache key so stale store entries are simply never hit.
+SCHEMA_VERSION = 1
+
+
+def _policy_to_payload(policy: str | PolicySpec) -> str | dict:
+    return policy if isinstance(policy, str) else policy.to_dict()
+
+
+def _policy_from_payload(payload: str | dict) -> str | PolicySpec:
+    return payload if isinstance(payload, str) else PolicySpec.from_dict(payload)
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+
+@dataclass(frozen=True)
+class WorkloadJob:
+    """One multi-programmed run: workload x config x policy x budgets x seed."""
+
+    workload_name: str
+    benchmarks: tuple[str, ...]
+    config: SystemConfig
+    policy: str | PolicySpec
+    quota: int
+    warmup: int
+    master_seed: int
+
+    kind = "workload"
+
+    @staticmethod
+    def for_workload(
+        workload: Workload,
+        config: SystemConfig,
+        policy: str | PolicySpec,
+        *,
+        quota: int,
+        warmup: int,
+        master_seed: int,
+    ) -> "WorkloadJob":
+        return WorkloadJob(
+            workload_name=workload.name,
+            benchmarks=tuple(workload.benchmarks),
+            config=config,
+            policy=policy,
+            quota=quota,
+            warmup=warmup,
+            master_seed=master_seed,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workload_name": self.workload_name,
+            "benchmarks": list(self.benchmarks),
+            "config": self.config.to_dict(),
+            "policy": _policy_to_payload(self.policy),
+            "quota": self.quota,
+            "warmup": self.warmup,
+            "master_seed": self.master_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadJob":
+        return cls(
+            workload_name=data["workload_name"],
+            benchmarks=tuple(data["benchmarks"]),
+            config=SystemConfig.from_dict(data["config"]),
+            policy=_policy_from_payload(data["policy"]),
+            quota=data["quota"],
+            warmup=data["warmup"],
+            master_seed=data["master_seed"],
+        )
+
+    def cache_key(self) -> str:
+        return _digest({"v": SCHEMA_VERSION, **self.to_dict()})
+
+    def execute(self) -> WorkloadResult:
+        from repro.sim.multi import run_workload
+
+        workload = Workload(self.workload_name, self.benchmarks)
+        return run_workload(
+            workload,
+            self.config,
+            self.policy,
+            quota=self.quota,
+            warmup=self.warmup,
+            master_seed=self.master_seed,
+        )
+
+    def result_from_dict(self, data: dict) -> WorkloadResult:
+        return WorkloadResult.from_dict(data)
+
+
+@dataclass(frozen=True)
+class AloneJob:
+    """One single-application baseline/characterisation run."""
+
+    benchmark: str
+    config: SystemConfig
+    policy: str
+    quota: int
+    warmup: int
+    master_seed: int
+    monitor: bool = False
+    monitor_all_sets: bool = False
+
+    kind = "alone"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "config": self.config.to_dict(),
+            "policy": self.policy,
+            "quota": self.quota,
+            "warmup": self.warmup,
+            "master_seed": self.master_seed,
+            "monitor": self.monitor,
+            "monitor_all_sets": self.monitor_all_sets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AloneJob":
+        return cls(
+            benchmark=data["benchmark"],
+            config=SystemConfig.from_dict(data["config"]),
+            policy=data["policy"],
+            quota=data["quota"],
+            warmup=data["warmup"],
+            master_seed=data["master_seed"],
+            monitor=data.get("monitor", False),
+            monitor_all_sets=data.get("monitor_all_sets", False),
+        )
+
+    def cache_key(self) -> str:
+        return _digest({"v": SCHEMA_VERSION, **self.to_dict()})
+
+    def execute(self) -> SingleRunResult:
+        from repro.sim.single import run_alone
+
+        return run_alone(
+            self.benchmark,
+            self.config,
+            policy=self.policy,
+            quota=self.quota,
+            warmup=self.warmup,
+            master_seed=self.master_seed,
+            monitor=self.monitor,
+            monitor_all_sets=self.monitor_all_sets,
+        )
+
+    def result_from_dict(self, data: dict) -> SingleRunResult:
+        return SingleRunResult.from_dict(data)
+
+
+Job = WorkloadJob | AloneJob
+
+_JOB_KINDS = {WorkloadJob.kind: WorkloadJob, AloneJob.kind: AloneJob}
+
+
+def job_from_dict(data: dict) -> Job:
+    """Reconstruct a job from its ``to_dict`` payload (dispatch on kind)."""
+    kind = data.get("kind")
+    cls = _JOB_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown job kind {kind!r}")
+    return cls.from_dict(data)

@@ -1,0 +1,144 @@
+"""Process-pool execution of simulation jobs with two cache layers.
+
+:class:`ParallelRunner` takes a batch of serialisable jobs
+(:mod:`repro.runner.jobs`), satisfies what it can from the persistent
+:class:`~repro.runner.store.ResultStore`, and fans the remaining misses
+out across a ``concurrent.futures.ProcessPoolExecutor``.  Results come
+back in input order regardless of which worker finished first, and every
+job carries its own master seed, so a parallel run is bit-identical to the
+sequential run of the same batch.
+
+The worker count defaults to the ``REPRO_JOBS`` environment variable and
+falls back to ``os.cpu_count()``; ``jobs=1`` executes inline in the
+calling process (no pool, no pickling), which is also the automatic
+fast path for single-job batches.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runner.jobs import SCHEMA_VERSION, Job, job_from_dict
+from repro.runner.store import ResultStore
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set to a positive int, else CPU count."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value > 0:
+        return value
+    return os.cpu_count() or 1
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Worker entry point: dict in, dict out — nothing exotic crosses the pipe."""
+    return job_from_dict(payload).execute().to_dict()
+
+
+class ParallelRunner:
+    """Shard independent jobs across processes, backed by the result store.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``None`` or ``0`` means :func:`default_jobs`.
+    store:
+        Optional persistent :class:`ResultStore` (the L2 cache).  Misses
+        are simulated and written back; hits skip simulation entirely.
+    use_cache:
+        When ``False`` the store is neither read nor written — every job
+        is simulated fresh (the ``--no-cache`` CLI behaviour).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        store: ResultStore | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.jobs = jobs if jobs and jobs > 0 else default_jobs()
+        self.store = store
+        self.use_cache = use_cache
+        #: Lifetime counters: ``store_hits`` results re-read from disk,
+        #: ``executed`` simulations actually performed.
+        self.stats = {"store_hits": 0, "executed": 0}
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> list:
+        """Execute *jobs*; returns their results in input order.
+
+        Duplicate jobs (same cache key) within a batch are simulated once.
+        """
+        order: list[str] = []
+        unique: dict[str, Job] = {}
+        for job in jobs:
+            key = job.cache_key()
+            order.append(key)
+            unique.setdefault(key, job)
+
+        results: dict[str, object] = {}
+        misses: list[tuple[str, Job]] = []
+        for key, job in unique.items():
+            cached = self._load(key, job)
+            if cached is not None:
+                results[key] = cached
+            else:
+                misses.append((key, job))
+
+        for key, job, result in self._execute(misses):
+            results[key] = result
+            self._save(key, job, result)
+
+        return [results[key] for key in order]
+
+    def run_one(self, job: Job):
+        return self.run([job])[0]
+
+    def _execute(self, misses: list[tuple[str, Job]]):
+        self.stats["executed"] += len(misses)
+        if not misses:
+            return
+        if self.jobs <= 1 or len(misses) == 1:
+            for key, job in misses:
+                yield key, job, job.execute()
+            return
+        payloads = [job.to_dict() for _, job in misses]
+        workers = min(self.jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for (key, job), data in zip(misses, pool.map(_execute_payload, payloads)):
+                yield key, job, job.result_from_dict(data)
+
+    # -- store plumbing ----------------------------------------------------------
+
+    def _load(self, key: str, job: Job):
+        if self.store is None or not self.use_cache:
+            return None
+        payload = self.store.get(key)
+        if not payload or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        try:
+            result = job.result_from_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+        self.stats["store_hits"] += 1
+        return result
+
+    def _save(self, key: str, job: Job, result) -> None:
+        if self.store is None or not self.use_cache:
+            return
+        self.store.put(
+            key,
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": job.kind,
+                "job": job.to_dict(),
+                "result": result.to_dict(),
+            },
+        )

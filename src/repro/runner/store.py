@@ -1,0 +1,74 @@
+"""Persistent on-disk result store.
+
+Each completed job is written as one JSON file under the store root,
+``<root>/<key[:2]>/<key>.json``, where ``key`` is the job's stable
+:meth:`~repro.runner.jobs.WorkloadJob.cache_key` (a SHA-256 over workload,
+configuration, policy, budgets and master seed).  The two-level fan-out
+keeps directories small for multi-thousand-run campaigns.
+
+The store is the L2 cache of the experiment stack: the in-process
+:class:`~repro.experiments.common.Runner` memo is L1, and this store makes
+results survive *across invocations* — re-running a figure, or running a
+later figure that shares runs with an earlier one, performs zero new
+simulations against a warm store.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers and
+interrupted runs can never leave a truncated entry behind; a corrupt or
+unreadable entry is treated as a miss and overwritten on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections.abc import Iterator
+from pathlib import Path
+
+
+class ResultStore:
+    """JSON-file-per-result persistent cache keyed by job cache keys."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for *key*, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open(encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically persist *payload* under *key*; returns the file path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

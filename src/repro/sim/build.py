@@ -20,20 +20,27 @@ from repro.policies.base import ReplacementPolicy
 from repro.policies.drrip import DrripPolicy
 from repro.policies.lru import LruPolicy
 from repro.policies.registry import make_policy
+from repro.policies.spec import PolicySpec
 from repro.sim.config import SystemConfig
 from repro.trace.benchmarks import Geometry, TraceSource
 from repro.trace.workloads import Workload
 
+#: Anything the builders accept as an LLC policy designation.
+PolicyLike = str | PolicySpec | ReplacementPolicy
 
-def resolve_policy(policy: str | ReplacementPolicy, config: SystemConfig) -> ReplacementPolicy:
-    """Turn a policy name into an instance, wiring config-driven knobs.
 
-    ADAPT's monitoring parameters (sampled sets, array entries, partial tag
-    width) come from the system configuration so experiments vary them in
-    one place.
+def resolve_policy(policy: PolicyLike, config: SystemConfig) -> ReplacementPolicy:
+    """Turn a policy designation into an instance, wiring config-driven knobs.
+
+    Accepts a registry name, a serialisable :class:`PolicySpec` (name +
+    constructor arguments), or a pre-built instance.  ADAPT's monitoring
+    parameters (sampled sets, array entries, partial tag width) come from
+    the system configuration so experiments vary them in one place.
     """
     if isinstance(policy, ReplacementPolicy):
         return policy
+    if isinstance(policy, PolicySpec):
+        return policy.build(config)
     base = policy.partition("+")[0]
     if base.startswith("adapt"):
         return make_policy(
@@ -45,9 +52,7 @@ def resolve_policy(policy: str | ReplacementPolicy, config: SystemConfig) -> Rep
     return make_policy(policy)
 
 
-def build_hierarchy(
-    config: SystemConfig, llc_policy: str | ReplacementPolicy
-) -> CacheHierarchy:
+def build_hierarchy(config: SystemConfig, llc_policy: PolicyLike) -> CacheHierarchy:
     """Build the Table 3 platform with *llc_policy* at the shared LLC."""
     n = config.num_cores
     l1s = [

@@ -20,7 +20,7 @@ time; the scaling argument is laid out in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -133,6 +133,26 @@ class SystemConfig:
     def with_cores(self, num_cores: int) -> "SystemConfig":
         base = self.name.split("-")[0]
         return replace(self, num_cores=num_cores, name=f"{base}-{num_cores}core")
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict capturing every field (nested levels included).
+
+        This is the configuration half of :mod:`repro.runner`'s cache keys,
+        so *all* simulation-relevant knobs must appear here — relying on
+        ``name`` alone would alias configs that differ in, say,
+        ``interval_blocks_multiplier``.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        kwargs = dict(data)
+        for level in ("l1", "l2", "llc"):
+            kwargs[level] = CacheLevelConfig(**kwargs[level])
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in kwargs.items() if k in known})
 
     def describe(self) -> str:
         return (

@@ -9,8 +9,8 @@ expressed by passing a pre-built policy instance.
 from __future__ import annotations
 
 from repro.cpu.engine import MulticoreEngine
-from repro.policies.base import ReplacementPolicy
-from repro.sim.build import build_hierarchy, build_sources
+from repro.policies.spec import policy_key
+from repro.sim.build import PolicyLike, build_hierarchy, build_sources
 from repro.sim.config import SystemConfig
 from repro.sim.results import WorkloadResult
 from repro.trace.workloads import Workload
@@ -19,7 +19,7 @@ from repro.trace.workloads import Workload
 def run_workload(
     workload: Workload,
     config: SystemConfig,
-    policy: str | ReplacementPolicy,
+    policy: PolicyLike,
     *,
     quota: int = 30_000,
     warmup: int = 5_000,
@@ -42,7 +42,7 @@ def run_workload(
         workload_name=workload.name,
         benchmarks=workload.benchmarks,
         config_name=config.name,
-        policy=policy if isinstance(policy, str) else policy.name,
+        policy=policy.name if hasattr(policy, "describe") else policy_key(policy),
         snapshots=snapshots,
         intervals=engine.intervals_completed,
         policy_state=hierarchy.llc.policy.describe(),

@@ -1,4 +1,12 @@
-"""Result records produced by the simulation drivers."""
+"""Result records produced by the simulation drivers.
+
+Both record types serialise losslessly through ``to_dict``/``from_dict``:
+that is what lets :mod:`repro.runner` ship results across process
+boundaries and persist them as JSON in the on-disk result store.  Floats
+survive the JSON round-trip bit-exactly (Python serialises the shortest
+repr that round-trips), so a result re-read from the store compares equal
+to the freshly simulated one.
+"""
 
 from __future__ import annotations
 
@@ -27,6 +35,27 @@ class SingleRunResult:
     def l2_mpki(self) -> float:
         return self.snapshot.l2_mpki
 
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "config_name": self.config_name,
+            "policy": self.policy,
+            "snapshot": self.snapshot.to_dict(),
+            "footprints": dict(self.footprints),
+            "intervals": self.intervals,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SingleRunResult":
+        return cls(
+            benchmark=data["benchmark"],
+            config_name=data["config_name"],
+            policy=data["policy"],
+            snapshot=CoreSnapshot.from_dict(data["snapshot"]),
+            footprints=dict(data.get("footprints", {})),
+            intervals=data.get("intervals", 0),
+        )
+
 
 @dataclass
 class WorkloadResult:
@@ -54,3 +83,26 @@ class WorkloadResult:
         for name, snap in zip(self.benchmarks, self.snapshots):
             out.setdefault(name, snap)
         return out
+
+    def to_dict(self) -> dict:
+        return {
+            "workload_name": self.workload_name,
+            "benchmarks": list(self.benchmarks),
+            "config_name": self.config_name,
+            "policy": self.policy,
+            "snapshots": [s.to_dict() for s in self.snapshots],
+            "intervals": self.intervals,
+            "policy_state": self.policy_state,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadResult":
+        return cls(
+            workload_name=data["workload_name"],
+            benchmarks=tuple(data["benchmarks"]),
+            config_name=data["config_name"],
+            policy=data["policy"],
+            snapshots=[CoreSnapshot.from_dict(s) for s in data["snapshots"]],
+            intervals=data.get("intervals", 0),
+            policy_state=data.get("policy_state", ""),
+        )

@@ -74,7 +74,14 @@ def run_alone(
 
 
 class AloneCache:
-    """Memoised IPC_alone lookups shared by an experiment suite."""
+    """Memoised IPC_alone lookups shared by an experiment suite.
+
+    When constructed with a :class:`~repro.runner.parallel.ParallelRunner`,
+    misses are executed through it — which means they hit the persistent
+    result store across invocations and can be batch-prefetched in
+    parallel via :meth:`prefetch`.  Without a pool the cache falls back to
+    direct in-process :func:`run_alone` calls.
+    """
 
     def __init__(
         self,
@@ -84,25 +91,63 @@ class AloneCache:
         quota: int = 30_000,
         warmup: int = 5_000,
         master_seed: int = 0,
+        pool=None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.quota = quota
         self.warmup = warmup
         self.master_seed = master_seed
+        self.pool = pool
         self._results: dict[str, SingleRunResult] = {}
+
+    def job_for(self, benchmark: str):
+        """The serialisable job description for one baseline run.
+
+        The config is canonicalised to one core — exactly what
+        :func:`run_alone` simulates — so every suite that shares a
+        platform (16/20/24-core studies on the same LLC) derives the same
+        cache key and shares one set of baselines in the result store.
+        """
+        from repro.runner.jobs import AloneJob
+
+        return AloneJob(
+            benchmark=benchmark,
+            config=self.config.with_cores(1),
+            policy=self.policy,
+            quota=self.quota,
+            warmup=self.warmup,
+            master_seed=self.master_seed,
+        )
+
+    def prefetch(self, benchmarks: tuple[str, ...] | list[str]) -> None:
+        """Batch-run the missing benchmarks (in parallel when pooled)."""
+        missing = sorted({b for b in benchmarks if b not in self._results})
+        if not missing:
+            return
+        if self.pool is None:
+            for benchmark in missing:
+                self.result(benchmark)
+            return
+        for benchmark, result in zip(
+            missing, self.pool.run([self.job_for(b) for b in missing])
+        ):
+            self._results[benchmark] = result
 
     def result(self, benchmark: str) -> SingleRunResult:
         cached = self._results.get(benchmark)
         if cached is None:
-            cached = run_alone(
-                benchmark,
-                self.config,
-                policy=self.policy,
-                quota=self.quota,
-                warmup=self.warmup,
-                master_seed=self.master_seed,
-            )
+            if self.pool is not None:
+                cached = self.pool.run_one(self.job_for(benchmark))
+            else:
+                cached = run_alone(
+                    benchmark,
+                    self.config,
+                    policy=self.policy,
+                    quota=self.quota,
+                    warmup=self.warmup,
+                    master_seed=self.master_seed,
+                )
             self._results[benchmark] = cached
         return cached
 

@@ -25,7 +25,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.benchmarks import BENCHMARKS, CLASSES, THRASHING_BENCHMARKS, benchmarks_by_class
+from repro.trace.benchmarks import (
+    BENCHMARKS,
+    CLASSES,
+    THRASHING_BENCHMARKS,
+    benchmarks_by_class,
+)
 from repro.util.rng import derive_seed
 
 

@@ -1,6 +1,5 @@
 """Tests for LLC occupancy profiling."""
 
-import pytest
 
 from repro.analysis.occupancy import measure_occupancy
 from repro.trace.workloads import Workload

@@ -1,6 +1,5 @@
 """Unit and behaviour tests for the composed ADAPT policy."""
 
-import pytest
 
 from repro.cache.cache import SetAssociativeCache
 from repro.core.adapt import AdaptPolicy

@@ -5,7 +5,6 @@ import pytest
 from repro.cpu.core import CoreSnapshot
 from repro.cpu.engine import MulticoreEngine
 from repro.sim.build import build_hierarchy, build_sources, geometry_of
-from repro.sim.config import SystemConfig
 from repro.trace.benchmarks import BENCHMARKS, TraceSource
 from repro.trace.workloads import Workload
 

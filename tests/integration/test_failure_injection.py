@@ -9,11 +9,13 @@ import pytest
 from repro.cache.cache import SetAssociativeCache
 from repro.core.adapt import AdaptPolicy
 from repro.core.priority import PriorityBucket
+from repro.cpu.engine import MulticoreEngine
 from repro.policies.base import BYPASS, ReplacementPolicy
 from repro.policies.registry import make_policy
 from repro.sim.build import build_hierarchy, build_sources
-from repro.cpu.engine import MulticoreEngine
 from repro.trace.workloads import Workload
+
+pytestmark = pytest.mark.integration
 
 
 class TestAdversarialStreams:

@@ -6,10 +6,14 @@ LLC with prefetch enabled, exercising the exact interval arithmetic the
 paper states (1M misses, 40 monitored sets of 16384).
 """
 
+import pytest
+
 from repro.cpu.engine import MulticoreEngine
 from repro.sim.build import build_hierarchy, build_sources
 from repro.sim.config import SystemConfig
 from repro.trace.workloads import Workload
+
+pytestmark = pytest.mark.integration
 
 
 class TestPaperPlatform:

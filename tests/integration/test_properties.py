@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -8,9 +10,11 @@ from repro.core.footprint import FootprintSampler
 from repro.core.priority import InsertionPriorityPredictor, PriorityBucket
 from repro.policies.base import BYPASS
 from repro.policies.eaf import BloomFilter
-from repro.policies.registry import available_policies, make_policy
+from repro.policies.registry import make_policy
 from repro.util.bitops import split_address, xor_fold
 from repro.util.counters import FractionTicker, SaturatingCounter
+
+pytestmark = pytest.mark.integration
 
 addresses = st.integers(min_value=0, max_value=(1 << 44) - 1)
 

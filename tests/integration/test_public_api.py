@@ -1,12 +1,13 @@
 """Public-API surface tests: imports, exports, example importability."""
 
 import importlib
-import sys
 from pathlib import Path
 
 import pytest
 
 import repro
+
+pytestmark = pytest.mark.integration
 
 EXAMPLES = Path(repro.__file__).resolve().parents[2] / "examples"
 

@@ -3,12 +3,14 @@
 import pytest
 
 from repro.core.priority import PriorityBucket
+from repro.cpu.engine import MulticoreEngine
 from repro.metrics.throughput import weighted_speedup
 from repro.sim.build import build_hierarchy, build_sources
 from repro.sim.multi import run_workload
 from repro.sim.single import AloneCache
-from repro.cpu.engine import MulticoreEngine
 from repro.trace.workloads import Workload
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
 
 #: A miniature 4-core mix: one heavy thrasher vs three friendly apps.
 MIX = Workload("mini", ("lbm", "bzip", "deal", "omn"))

@@ -1,6 +1,5 @@
 """Unit tests for the recency-stack family: LRU, LIP, BIP, DIP."""
 
-import pytest
 
 from repro.cache.cache import SetAssociativeCache
 from repro.policies.lru import BipPolicy, DipPolicy, LipPolicy, LruPolicy

@@ -1,0 +1,149 @@
+"""Result-store and serialisation round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    AloneJob,
+    PolicySpec,
+    ResultStore,
+    WorkloadJob,
+    job_from_dict,
+    policy_key,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.multi import run_workload
+from repro.sim.results import SingleRunResult, WorkloadResult
+from repro.sim.single import run_alone
+from repro.trace.workloads import Workload
+
+MIX = Workload("mini", ("lbm", "bzip", "deal", "omn"))
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "results")
+
+
+class TestResultStore:
+    def test_miss_returns_none(self, store):
+        assert store.get("deadbeef") is None
+        assert "deadbeef" not in store
+
+    def test_put_get_round_trip(self, store):
+        payload = {"schema": 1, "result": {"x": [1.5, 2.0]}}
+        path = store.put("deadbeef", payload)
+        assert path.is_file()
+        assert store.get("deadbeef") == payload
+        assert "deadbeef" in store
+        assert list(store.keys()) == ["deadbeef"]
+        assert len(store) == 1
+
+    def test_corrupt_entry_is_a_miss(self, store):
+        store.put("deadbeef", {"ok": True})
+        store.path_for("deadbeef").write_text("{truncated")
+        assert store.get("deadbeef") is None
+
+    def test_keys_fan_out_by_prefix(self, store):
+        store.put("aa111", {})
+        store.put("bb222", {})
+        assert store.path_for("aa111").parent.name == "aa"
+        assert sorted(store.keys()) == ["aa111", "bb222"]
+
+
+class TestConfigSerialisation:
+    def test_round_trip(self, tiny_config):
+        clone = SystemConfig.from_dict(tiny_config.to_dict())
+        assert clone == tiny_config
+
+    def test_json_safe(self, tiny_config):
+        json.dumps(tiny_config.to_dict())
+
+
+class TestResultSerialisation:
+    def test_workload_result_round_trip(self, tiny_config):
+        result = run_workload(MIX, tiny_config, "lru", quota=800, warmup=200)
+        clone = WorkloadResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+        assert clone.ipcs == result.ipcs
+
+    def test_single_result_round_trip(self, tiny_config):
+        result = run_alone("lbm", tiny_config, quota=800, warmup=200, monitor=True)
+        clone = SingleRunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+
+class TestPolicySpec:
+    def test_canonical_kwargs(self):
+        a = PolicySpec.of("tadrrip", forced_brrip_cores=[2, 0], leader_sets=64)
+        b = PolicySpec.of("tadrrip", leader_sets=64, forced_brrip_cores=(0, 2))
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_round_trip(self):
+        spec = PolicySpec.of("tadrrip", leader_sets=128, forced_brrip_cores=[1])
+        clone = PolicySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_build(self, tiny_config):
+        policy = PolicySpec.of("tadrrip", leader_sets=64).build(tiny_config)
+        assert policy.name == "tadrrip"
+
+    def test_policy_key_plain_string(self):
+        assert policy_key("lru") == "lru"
+        assert "leader_sets" in policy_key(PolicySpec.of("tadrrip", leader_sets=64))
+
+
+class TestJobs:
+    def _job(self, tiny_config, **overrides) -> WorkloadJob:
+        kwargs = dict(
+            workload_name=MIX.name,
+            benchmarks=MIX.benchmarks,
+            config=tiny_config,
+            policy="lru",
+            quota=800,
+            warmup=200,
+            master_seed=0,
+        )
+        kwargs.update(overrides)
+        return WorkloadJob(**kwargs)
+
+    def test_workload_job_round_trip(self, tiny_config):
+        job = self._job(tiny_config, policy=PolicySpec.of("tadrrip", leader_sets=64))
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.cache_key() == job.cache_key()
+
+    def test_alone_job_round_trip(self, tiny_config):
+        job = AloneJob(
+            benchmark="lbm",
+            config=tiny_config,
+            policy="tadrrip",
+            quota=800,
+            warmup=200,
+            master_seed=3,
+            monitor=True,
+            monitor_all_sets=True,
+        )
+        clone = job_from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.cache_key() == job.cache_key()
+
+    def test_cache_key_sensitivity(self, tiny_config):
+        base = self._job(tiny_config)
+        assert base.cache_key() == self._job(tiny_config).cache_key()
+        assert base.cache_key() != self._job(tiny_config, master_seed=1).cache_key()
+        assert base.cache_key() != self._job(tiny_config, policy="srrip").cache_key()
+        assert base.cache_key() != self._job(tiny_config, quota=801).cache_key()
+        other_config = tiny_config.with_llc(num_sets=32)
+        assert base.cache_key() != self._job(other_config).cache_key()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            job_from_dict({"kind": "quantum"})
+
+    def test_execute_matches_direct_run(self, tiny_config):
+        job = self._job(tiny_config)
+        direct = run_workload(MIX, tiny_config, "lru", quota=800, warmup=200)
+        assert job.execute() == direct

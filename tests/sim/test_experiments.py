@@ -9,7 +9,7 @@ import pytest
 from repro.experiments.common import ExperimentSettings, Runner, scale_factor
 from repro.experiments.fig1 import forced_tadrrip
 from repro.experiments.tables import render_table2, render_table3, render_table6
-from repro.trace.workloads import Workload, design_suite
+from repro.trace.workloads import Workload
 
 
 @pytest.fixture

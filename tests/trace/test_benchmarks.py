@@ -1,6 +1,5 @@
 """Unit tests for the 36 synthetic benchmarks and their generator."""
 
-import numpy as np
 import pytest
 
 from repro.trace.benchmarks import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.trace.benchmarks import BENCHMARKS
 from repro.trace.workloads import (
     TABLE6,
     Workload,

@@ -1,6 +1,5 @@
 """Unit tests for the mean helpers."""
 
-import math
 
 import pytest
 
