@@ -59,6 +59,21 @@ _BYPASS = AccessResult(False, True, -1, False)
 class SetAssociativeCache:
     """A single cache level shared by ``num_cores`` cores."""
 
+    __slots__ = (
+        "name",
+        "num_sets",
+        "ways",
+        "set_mask",
+        "num_cores",
+        "policy",
+        "addrs",
+        "dirty",
+        "owner",
+        "reused",
+        "occupancy",
+        "stats",
+    )
+
     def __init__(
         self,
         name: str,

@@ -51,6 +51,24 @@ class AccessOutcome:
 class CacheHierarchy:
     """Per-core L1/L2 plus shared LLC and DRAM, with behavioural timing."""
 
+    __slots__ = (
+        "num_cores",
+        "l1s",
+        "l2s",
+        "llc",
+        "llc_banks",
+        "dram",
+        "arbiter",
+        "l1_latency",
+        "l2_latency",
+        "llc_mshr",
+        "l2_wb_buffers",
+        "llc_wb_buffer",
+        "l1_next_line_prefetch",
+        "l2_prefetchers",
+        "prefetches_issued",
+    )
+
     def __init__(
         self,
         l1s: list[SetAssociativeCache],

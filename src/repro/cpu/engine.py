@@ -28,6 +28,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 
 from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu import fastpath
 from repro.cpu.core import CoreSnapshot, CoreState
 from repro.trace.benchmarks import TraceSource
 
@@ -49,6 +50,19 @@ class _Baseline:
 
 class MulticoreEngine:
     """Drives N cores' trace sources through a shared hierarchy."""
+
+    __slots__ = (
+        "hierarchy",
+        "sources",
+        "cores",
+        "interval_misses",
+        "first_interval_divisor",
+        "warmup_accesses",
+        "_baselines",
+        "_miss_clock",
+        "intervals_completed",
+        "now",
+    )
 
     def __init__(
         self,
@@ -111,8 +125,25 @@ class MulticoreEngine:
 
     # -- main loop -------------------------------------------------------------------
 
-    def run(self) -> list[CoreSnapshot]:
-        """Run warm-up then measurement to completion; one snapshot per core."""
+    def run(self, force_generic: bool = False) -> list[CoreSnapshot]:
+        """Run warm-up then measurement to completion; one snapshot per core.
+
+        Dispatches to the fused fast-path kernel
+        (:mod:`repro.cpu.fastpath`) when the hierarchy matches its
+        supported shape; behaviour is bit-for-bit identical either way
+        (machine-checked by the golden-master suite).  ``force_generic``
+        — or the ``REPRO_NO_FASTPATH`` environment variable — pins the
+        generic loop, which is how the differential tests drive both
+        kernels over the same configuration.
+        """
+        if not force_generic and fastpath.fastpath_enabled():
+            snapshots = fastpath.run_fast(self)
+            if snapshots is not None:
+                return snapshots
+        return self._run_generic()
+
+    def _run_generic(self) -> list[CoreSnapshot]:
+        """The reference one-access-at-a-time loop (fallback kernel)."""
         hierarchy = self.hierarchy
         access = hierarchy.access
         l1_latency = hierarchy.l1_latency

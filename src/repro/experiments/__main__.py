@@ -49,7 +49,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="one of: list, fig1, fig3, fig4, fig6, fig7, fig8, "
-        "table2, table3, table4, table6, table7, ablations",
+        "table2, table3, table4, table6, table7, ablations, golden",
     )
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
@@ -69,16 +69,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="ignore the result store and simulate everything fresh",
     )
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="golden only: rewrite the golden-master fixtures instead of verifying",
+    )
+    parser.add_argument(
+        "--fixtures-dir",
+        default=None,
+        help="golden only: fixture directory (default: tests/golden/fixtures)",
+    )
     args = parser.parse_args(argv)
 
     names = (
-        "fig1 fig3 fig4 fig6 fig7 fig8 table2 table3 table4 table6 table7 ablations"
+        "fig1 fig3 fig4 fig6 fig7 fig8 table2 table3 table4 table6 table7 "
+        "ablations golden"
     ).split()
     if args.experiment == "list":
         print("\n".join(names))
         return 0
     if args.experiment not in names:
         parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
+
+    if args.experiment == "golden":
+        return _golden(args.fixtures_dir, args.regen)
 
     config = SystemConfig.scaled(args.cores)
     settings = ExperimentSettings.from_env()
@@ -127,6 +141,32 @@ def main(argv: list[str] | None = None) -> int:
         print(run_monitor_sets_ablation(runner).render())
     print(runner.cache_summary(), file=sys.stderr)
     return 0
+
+
+def _golden(fixtures_dir: str | None, regen: bool) -> int:
+    """Verify — or with ``--regen`` rewrite — the golden-master fixtures.
+
+    Fixtures pin the simulation kernel's exact behaviour for every
+    registered policy (see :mod:`repro.golden`).  Regenerate only after an
+    *intentional* behaviour change, then review the fixture diff.
+    """
+    from repro.golden import verify_fixtures, write_fixtures
+
+    if regen:
+        written = write_fixtures(fixtures_dir)
+        print(f"regenerated {len(written)} golden fixtures in {written[0].parent}")
+        return 0
+    failures = verify_fixtures(fixtures_dir)
+    if not failures:
+        print("golden fixtures verified: kernel behaviour is bit-identical")
+        return 0
+    for name, problems in sorted(failures.items()):
+        print(f"FAIL {name}")
+        for problem in problems:
+            print(f"  {problem}")
+    print(f"{len(failures)} golden case(s) diverged; if intentional, re-run "
+          "with --regen and review the fixture diff")
+    return 1
 
 
 def cli() -> int:

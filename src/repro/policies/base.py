@@ -48,6 +48,63 @@ from typing import Any
 BYPASS: Any = object()
 
 
+class FastPathOps:
+    """Narrow fast-path protocol: preallocated per-set replacement metadata.
+
+    The fused simulation kernel (:mod:`repro.cpu.fastpath`) asks each policy
+    for its :class:`FastPathOps` via :meth:`ReplacementPolicy.fast_ops`.  A
+    policy that opts in exposes the *same* per-set integer arrays its object
+    API mutates, plus flags saying which of the three hot hooks (demand-hit
+    promotion, victim selection, fill) are the family defaults and may
+    therefore be executed inline by the kernel instead of through a method
+    call.  A policy that overrides a hook (SHiP's outcome training, ADAPT's
+    monitor tap) keeps that hook as a call and still gets the other two
+    inlined — behaviour is identical either way, only the dispatch differs.
+
+    ``kind`` selects the inline interpretation:
+
+    * ``"rrip"`` — ``rows`` holds per-set RRPV arrays; promotion writes 0,
+      the victim is found by aging the set to ``max_code``, a fill writes
+      the insertion code verbatim.
+    * ``"stack"`` — ``rows`` holds per-set recency stamps with the per-set
+      ``next_mru``/``next_lru`` clocks; promotion and MRU fills stamp from
+      ``next_mru``, LRU fills stamp from ``next_lru``, the victim is the
+      minimum stamp.
+    """
+
+    __slots__ = (
+        "kind",
+        "rows",
+        "max_code",
+        "next_mru",
+        "next_lru",
+        "hit_inline",
+        "victim_inline",
+        "fill_inline",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        rows: list,
+        *,
+        max_code: int = 0,
+        next_mru: list | None = None,
+        next_lru: list | None = None,
+        hit_inline: bool = False,
+        victim_inline: bool = False,
+        fill_inline: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.rows = rows
+        self.max_code = max_code
+        self.next_mru = next_mru
+        self.next_lru = next_lru
+        self.hit_inline = hit_inline
+        self.victim_inline = victim_inline
+        self.fill_inline = fill_inline
+
+
 class ReplacementPolicy:
     """Base class with the no-op default behaviour.
 
@@ -115,6 +172,17 @@ class ReplacementPolicy:
 
         ADAPT recomputes Footprint-numbers here; other policies ignore it.
         """
+
+    # -- fast-path protocol ------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps | None:
+        """Metadata arrays for the fused kernel, or ``None`` to opt out.
+
+        Only valid after :meth:`bind`.  The default is to opt out, which
+        makes the kernel drive this policy through the five hooks above —
+        wrappers (bypass, monitoring) and any custom policy work unchanged.
+        """
+        return None
 
     # -- introspection -----------------------------------------------------
 

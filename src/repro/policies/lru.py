@@ -18,7 +18,7 @@ recency (paper footnote 4).
 
 from __future__ import annotations
 
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import FastPathOps, ReplacementPolicy
 from repro.policies.dueling import DuelMap
 from repro.util.counters import FractionTicker, PselCounter
 
@@ -68,6 +68,21 @@ class RecencyStackPolicy(ReplacementPolicy):
             stamp = self._next_lru[set_idx]
             self._stamp[set_idx][way] = stamp
             self._next_lru[set_idx] = stamp - 1
+
+    # -- fast-path protocol ------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps:
+        """Expose the stamp arrays; inline only the hooks left at defaults."""
+        cls = type(self)
+        return FastPathOps(
+            "stack",
+            self._stamp,
+            next_mru=self._next_mru,
+            next_lru=self._next_lru,
+            hit_inline=cls.on_hit is RecencyStackPolicy.on_hit,
+            victim_inline=cls.victim is RecencyStackPolicy.victim,
+            fill_inline=cls.on_fill is RecencyStackPolicy.on_fill,
+        )
 
     # -- analysis helper -------------------------------------------------------
 

@@ -17,7 +17,7 @@ working set, exactly like BIP does for LRU.
 
 from __future__ import annotations
 
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import FastPathOps, ReplacementPolicy
 from repro.util.counters import FractionTicker
 
 
@@ -78,6 +78,24 @@ class RripPolicyBase(ReplacementPolicy):
     def writeback_insertion(self) -> int:
         """Non-demand (write-back) fills install at distant priority."""
         return self.max_rrpv
+
+    # -- fast-path protocol ------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps:
+        """Expose the RRPV arrays; inline only the hooks left at defaults.
+
+        A subclass that overrides a hook (SHiP's ``on_hit`` training,
+        ADAPT's monitor tap) keeps that hook as a call automatically.
+        """
+        cls = type(self)
+        return FastPathOps(
+            "rrip",
+            self.rrpv,
+            max_code=self.max_rrpv,
+            hit_inline=cls.on_hit is RripPolicyBase.on_hit,
+            victim_inline=cls.victim is RripPolicyBase.victim,
+            fill_inline=cls.on_fill is RripPolicyBase.on_fill,
+        )
 
 
 class SrripPolicy(RripPolicyBase):

@@ -176,6 +176,30 @@ class TraceSource:
     #: The shared "library text" PCs every application executes.
     LIBRARY_PC_BASE = 0x40_0000
 
+    __slots__ = (
+        "spec",
+        "geometry",
+        "core_id",
+        "address_offset",
+        "_rng",
+        "working_set_blocks",
+        "pattern",
+        "footprint_apki",
+        "hot_apki",
+        "apki",
+        "_private_pc_base",
+        "_echo_window",
+        "_echo_tail",
+        "instructions_per_access",
+        "_hot_fraction",
+        "_hot_base",
+        "_addrs",
+        "_pcs",
+        "_writes",
+        "_pos",
+        "chunks_generated",
+    )
+
     def __init__(
         self,
         spec: BenchmarkSpec,
@@ -210,6 +234,11 @@ class TraceSource:
         self._pcs: list[int] = []
         self._writes: list[bool] = []
         self._pos = 0
+        #: Number of CHUNK-sized batches generated so far — together with
+        #: the generator state this pins the source's RNG consumption, which
+        #: the golden-master harness records to detect any change in *when*
+        #: randomness is drawn, not just in what it produced.
+        self.chunks_generated = 0
 
     # -- calibration ------------------------------------------------------------
 
@@ -275,6 +304,7 @@ class TraceSource:
         self._pcs = pcs.tolist()
         self._writes = writes.tolist()
         self._pos = 0
+        self.chunks_generated += 1
 
     def _apply_echo(self, footprint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Replace a fraction of footprint accesses with short-range reuse.
@@ -308,6 +338,26 @@ class TraceSource:
         pos = self._pos
         self._pos = pos + 1
         return self._addrs[pos], self._pcs[pos], self._writes[pos]
+
+    # -- batched consumption (fast-path engine) -------------------------------
+
+    def next_chunk(self) -> tuple[list[int], list[int], list[bool], int]:
+        """Current ``(addrs, pcs, writes, position)`` buffers, refilled if spent.
+
+        The fused engine loop (:mod:`repro.cpu.fastpath`) indexes these
+        arrays directly — one Python call per ``CHUNK`` accesses instead of
+        one :meth:`next_access` call per access.  Consumers own the read
+        position until they hand it back via :meth:`commit`; generation
+        order (and therefore RNG draw order) is identical to the
+        one-at-a-time path because refills happen at the same boundaries.
+        """
+        if self._pos >= len(self._addrs):
+            self._refill()
+        return self._addrs, self._pcs, self._writes, self._pos
+
+    def commit(self, pos: int) -> None:
+        """Record that the caller consumed the buffers up to *pos*."""
+        self._pos = pos
 
     def restart(self) -> None:
         """Back to the beginning (the paper re-executes finished apps)."""

@@ -1,0 +1,155 @@
+"""Golden-master and differential tests for the simulation kernels.
+
+Two independent guarantees, per registered policy:
+
+* **Fixture equivalence** — the default (fast-path) kernel reproduces the
+  committed JSON fixtures bit-for-bit: IPC inputs, per-core and per-cache
+  stats, cache-content digests, timing-model counters, interval counts and
+  RNG draw accounting.  Dict-ordering or hash-salt differences between
+  Python versions cannot hide behind this comparison — every value is
+  explicit data.
+* **Kernel differential** — the fast path and the generic reference loop
+  produce identical records when run back to back in this process, so a
+  divergence is caught even before fixtures are regenerated.
+
+If a *deliberate* behaviour change breaks these tests, regenerate with
+``repro-experiments golden --regen`` and review the fixture diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cpu import fastpath
+from repro.cpu.engine import MulticoreEngine
+from repro.golden import (
+    GOLDEN_WORKLOADS,
+    case_name,
+    compare_records,
+    fixture_path,
+    golden_config,
+    iter_cases,
+    run_case,
+)
+from repro.sim.build import build_hierarchy, build_sources
+from repro.trace.workloads import Workload
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CASES = list(iter_cases())
+CASE_IDS = [case_name(policy, workload) for policy, workload, _ in CASES]
+
+
+def _load(policy: str, workload: str) -> dict:
+    path = fixture_path(FIXTURES, policy, workload)
+    assert path.is_file(), (
+        f"missing golden fixture {path}; regenerate with "
+        f"'repro-experiments golden --regen'"
+    )
+    with path.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestFixtureCoverage:
+    def test_every_case_has_a_fixture(self):
+        missing = [
+            fixture_path(FIXTURES, policy, workload).name
+            for policy, workload, _ in CASES
+            if not fixture_path(FIXTURES, policy, workload).is_file()
+        ]
+        assert not missing, f"missing fixtures: {missing}"
+
+    def test_no_stale_fixtures(self):
+        expected = {
+            fixture_path(FIXTURES, policy, workload).name
+            for policy, workload, _ in CASES
+        }
+        actual = {p.name for p in FIXTURES.glob("*.json")}
+        assert actual == expected
+
+
+@pytest.mark.parametrize(("policy", "workload", "benchmarks"), CASES, ids=CASE_IDS)
+class TestGoldenMaster:
+    def test_fast_kernel_matches_fixture(self, policy, workload, benchmarks):
+        expected = _load(policy, workload)
+        actual = run_case(policy, benchmarks)
+        problems = compare_records(expected, actual)
+        assert not problems, "\n".join(problems)
+
+
+# The differential suite is the fixture check's independent twin: it needs
+# no committed state, so it also protects fixture regeneration itself.
+@pytest.mark.parametrize(("policy", "workload", "benchmarks"), CASES, ids=CASE_IDS)
+class TestKernelDifferential:
+    def test_fast_equals_generic(self, policy, workload, benchmarks):
+        fast = run_case(policy, benchmarks)
+        generic = run_case(policy, benchmarks, force_generic=True)
+        problems = compare_records(fast, generic)
+        assert not problems, "\n".join(problems)
+
+
+class TestFastPathDispatch:
+    """The engine must actually *use* the fused kernel where eligible."""
+
+    def _engine(self, policy="tadrrip", **config_kwargs):
+        config = golden_config()
+        if config_kwargs:
+            from dataclasses import replace
+
+            config = replace(config, **config_kwargs)
+        hierarchy = build_hierarchy(config, policy)
+        sources = build_sources(
+            Workload("g", GOLDEN_WORKLOADS["thrash-mix"]), config, 0
+        )
+        return hierarchy, MulticoreEngine(
+            hierarchy, sources, quota_per_core=50, warmup_accesses=0
+        )
+
+    def test_standard_build_is_fast_eligible(self):
+        _, engine = self._engine()
+        assert fastpath.run_fast(engine) is not None
+
+    def test_prefetch_configs_fall_back(self):
+        _, engine = self._engine(l1_next_line_prefetch=True)
+        assert fastpath.run_fast(engine) is None
+        _, engine = self._engine(l2_stride_prefetch=True)
+        assert fastpath.run_fast(engine) is None
+        # ... and engine.run still completes on the generic loop.
+        snaps = engine.run()
+        assert all(s.accesses == 50 for s in snaps)
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        assert not fastpath.fastpath_enabled()
+        monkeypatch.delenv("REPRO_NO_FASTPATH")
+        assert fastpath.fastpath_enabled()
+
+    def test_fast_ops_protocol_shapes(self):
+        from repro.policies.registry import make_policy
+
+        rrip = make_policy("srrip")
+        rrip.bind(16, 4, 1)
+        ops = rrip.fast_ops()
+        assert (ops.kind, ops.hit_inline, ops.victim_inline, ops.fill_inline) == (
+            "rrip",
+            True,
+            True,
+            True,
+        )
+        ship = make_policy("ship")
+        ship.bind(16, 4, 1)
+        ops = ship.fast_ops()
+        # SHiP overrides on_hit/on_fill (training) but keeps the family victim.
+        assert (ops.hit_inline, ops.victim_inline, ops.fill_inline) == (
+            False,
+            True,
+            False,
+        )
+        stack = make_policy("lru")
+        stack.bind(16, 4, 1)
+        assert stack.fast_ops().kind == "stack"
+        # Wrappers opt out entirely: every hook stays a delegated call.
+        assert make_policy("tadrrip+bp").fast_ops() is None

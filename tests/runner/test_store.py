@@ -1,11 +1,13 @@
 """Result-store and serialisation round-trip tests."""
 
 import json
+import os
 
 import pytest
 
 from repro.runner import (
     AloneJob,
+    ParallelRunner,
     PolicySpec,
     ResultStore,
     WorkloadJob,
@@ -50,6 +52,106 @@ class TestResultStore:
         store.put("bb222", {})
         assert store.path_for("aa111").parent.name == "aa"
         assert sorted(store.keys()) == ["aa111", "bb222"]
+
+
+class TestStoreEdgeCases:
+    """Corruption, schema drift and crash-safety behave as cache misses."""
+
+    def _workload_job(self, tiny_config) -> WorkloadJob:
+        return WorkloadJob(
+            workload_name=MIX.name,
+            benchmarks=MIX.benchmarks,
+            config=tiny_config,
+            policy="lru",
+            quota=200,
+            warmup=0,
+            master_seed=0,
+        )
+
+    @pytest.mark.parametrize(
+        "blob",
+        ["", "{truncated", "\x00\x01binary", "[1, 2", "null"],
+        ids=["empty", "truncated", "binary", "half-array", "json-null"],
+    )
+    def test_damaged_entries_are_misses(self, store, blob):
+        store.put("deadbeef", {"schema": 1})
+        store.path_for("deadbeef").write_text(blob, errors="ignore")
+        assert store.get("deadbeef") is None
+
+    def test_unreadable_entry_is_a_miss(self, store, monkeypatch):
+        store.put("deadbeef", {"schema": 1})
+
+        def boom(*args, **kwargs):
+            raise OSError("I/O error")
+
+        monkeypatch.setattr("pathlib.Path.open", boom)
+        assert store.get("deadbeef") is None
+
+    def test_runner_treats_schema_mismatch_as_miss(self, store, tiny_config):
+        """A payload from an older (or newer) encoding is re-simulated."""
+        job = self._workload_job(tiny_config)
+        key = job.cache_key()
+        runner = ParallelRunner(jobs=1, store=store)
+        result = runner.run_one(job)
+        assert runner.stats == {"store_hits": 0, "executed": 1}
+        # Warm hit with the current schema.
+        assert ParallelRunner(jobs=1, store=store).run_one(job) == result
+        # Now age the stored schema: the entry must be ignored, the job
+        # re-simulated and the entry rewritten at the current version.
+        payload = store.get(key)
+        payload["schema"] = payload["schema"] + 1
+        store.put(key, payload)
+        rerun_runner = ParallelRunner(jobs=1, store=store)
+        rerun = rerun_runner.run_one(job)
+        assert rerun_runner.stats == {"store_hits": 0, "executed": 1}
+        assert rerun == result
+        assert store.get(key)["schema"] == payload["schema"] - 1
+
+    def test_runner_treats_result_shape_drift_as_miss(self, store, tiny_config):
+        job = self._workload_job(tiny_config)
+        key = job.cache_key()
+        ParallelRunner(jobs=1, store=store).run_one(job)
+        payload = store.get(key)
+        del payload["result"]
+        store.put(key, payload)
+        runner = ParallelRunner(jobs=1, store=store)
+        runner.run_one(job)
+        assert runner.stats["executed"] == 1
+
+    def test_crashed_write_leaves_no_partial_entry(self, store, monkeypatch):
+        """A crash mid-serialisation must leave neither the entry nor tmp
+        litter behind — the atomic-write contract."""
+        store.put("deadbeef", {"schema": 1, "result": "old"})
+        original = json.dump
+
+        def crashing_dump(obj, fh, **kwargs):
+            fh.write('{"schema": 1, "result": "par')  # partial bytes land
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr("repro.runner.store.json.dump", crashing_dump)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            store.put("deadbeef", {"schema": 1, "result": "new"})
+        monkeypatch.setattr("repro.runner.store.json.dump", original)
+        # The previous entry survives intact and no temp files linger.
+        assert store.get("deadbeef") == {"schema": 1, "result": "old"}
+        leftovers = [
+            name
+            for name in os.listdir(store.path_for("deadbeef").parent)
+            if name != "deadbeef.json"
+        ]
+        assert leftovers == []
+
+    def test_crashed_first_write_is_still_a_miss(self, store, monkeypatch):
+        def crashing_dump(obj, fh, **kwargs):
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr("repro.runner.store.json.dump", crashing_dump)
+        with pytest.raises(RuntimeError):
+            store.put("cafebabe", {"schema": 1})
+        monkeypatch.undo()
+        assert store.get("cafebabe") is None
+        assert "cafebabe" not in store
+        assert list(store.keys()) == []
 
 
 class TestConfigSerialisation:

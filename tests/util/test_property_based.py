@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the substrate utility modules.
+
+These pin algebraic contracts the simulator leans on everywhere:
+address-split round-trips (any violation silently aliases cache sets),
+seed-derivation determinism and isolation (any violation makes experiments
+non-reproducible or lets one component's RNG consumption perturb
+another's), and saturating-counter bounds (any violation breaks every
+set-duelling policy at once).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.util.bitops import (  # noqa: E402
+    block_align,
+    ilog2,
+    is_pow2,
+    split_address,
+    xor_bank_index,
+    xor_fold,
+)
+from repro.util.counters import FractionTicker, SaturatingCounter  # noqa: E402
+from repro.util.rng import RngStreams, derive_seed  # noqa: E402
+
+#: Keep CI wall-clock bounded; these properties are cheap but numerous.
+COMMON = settings(max_examples=200, deadline=None)
+
+pow2 = st.integers(min_value=0, max_value=20).map(lambda e: 1 << e)
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestBitops:
+    @COMMON
+    @given(e=st.integers(min_value=0, max_value=62))
+    def test_ilog2_inverts_shift(self, e):
+        assert ilog2(1 << e) == e
+
+    @COMMON
+    @given(value=st.integers(min_value=1, max_value=1 << 62))
+    def test_is_pow2_agrees_with_bit_count(self, value):
+        assert is_pow2(value) == (bin(value).count("1") == 1)
+
+    @COMMON
+    @given(addr=addresses, num_sets=pow2.filter(lambda v: v >= 1))
+    def test_split_address_round_trips(self, addr, num_sets):
+        tag, set_idx = split_address(addr, num_sets)
+        assert 0 <= set_idx < num_sets
+        assert tag * num_sets + set_idx == addr
+
+    @COMMON
+    @given(byte_addr=addresses, block=pow2.filter(lambda v: v >= 1))
+    def test_block_align_is_floor_division(self, byte_addr, block):
+        assert block_align(byte_addr, block) == byte_addr // block
+
+    @COMMON
+    @given(value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+           width=st.integers(min_value=1, max_value=24))
+    def test_xor_fold_stays_in_width(self, value, width):
+        folded = xor_fold(value, width)
+        assert 0 <= folded < (1 << width)
+
+    @COMMON
+    @given(value=st.integers(min_value=0, max_value=(1 << 20) - 1),
+           width=st.integers(min_value=21, max_value=32))
+    def test_xor_fold_identity_below_width(self, value, width):
+        # A value narrower than the fold width has nothing to fold in.
+        assert xor_fold(value, width) == value
+
+    @COMMON
+    @given(addr=addresses, num_banks=pow2.filter(lambda v: v >= 1))
+    def test_bank_index_in_range(self, addr, num_banks):
+        assert 0 <= xor_bank_index(addr, num_banks) < num_banks
+
+    @COMMON
+    @given(addr=addresses, num_banks=pow2.filter(lambda v: v >= 2))
+    def test_bank_index_mixes_only_low_and_shifted_bits(self, addr, num_banks):
+        low = addr & (num_banks - 1)
+        high = (addr >> 8) & (num_banks - 1)
+        assert xor_bank_index(addr, num_banks) == low ^ high
+
+
+class TestSeedDerivation:
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=(1 << 63) - 1),
+           name=st.text(min_size=0, max_size=40))
+    def test_deterministic_and_in_range(self, seed, name):
+        first = derive_seed(seed, name)
+        assert derive_seed(seed, name) == first
+        assert 0 <= first < (1 << 63)
+
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=(1 << 63) - 1),
+           name=st.text(min_size=0, max_size=40))
+    def test_stream_isolation_from_consumption(self, seed, name):
+        """Drawing from one named stream never perturbs a sibling stream.
+
+        This is the distribution-independence property the docstring
+        promises: adding a new randomness consumer must not shift what any
+        other component sees.
+        """
+        lone = RngStreams(seed).get(name).random(4).tolist()
+        streams = RngStreams(seed)
+        streams.get(name + "/sibling").random(1000)  # heavy sibling traffic
+        assert streams.get(name).random(4).tolist() == lone
+
+    @COMMON
+    @given(seed=st.integers(min_value=0, max_value=(1 << 63) - 1),
+           name=st.text(min_size=0, max_size=40))
+    def test_fresh_restarts_the_stream(self, seed, name):
+        streams = RngStreams(seed)
+        first = streams.get(name).random(4).tolist()
+        assert streams.fresh(name).random(4).tolist() == first
+
+
+class TestSaturatingCounters:
+    @COMMON
+    @given(bits=st.integers(min_value=1, max_value=12),
+           ops=st.lists(st.sampled_from(["inc", "dec"]), max_size=200))
+    def test_value_always_within_bounds(self, bits, ops):
+        counter = SaturatingCounter(bits)
+        top = (1 << bits) - 1
+        for op in ops:
+            if op == "inc":
+                counter.increment()
+            else:
+                counter.decrement()
+            assert 0 <= counter.value <= top
+
+    @COMMON
+    @given(bits=st.integers(min_value=1, max_value=12),
+           initial=st.integers(min_value=0, max_value=(1 << 12) - 1),
+           amount=st.integers(min_value=0, max_value=1 << 14))
+    def test_saturation_clamps_exactly(self, bits, initial, amount):
+        top = (1 << bits) - 1
+        initial = min(initial, top)
+        counter = SaturatingCounter(bits, initial)
+        assert counter.increment(amount) == min(top, initial + amount)
+        counter.reset(initial)
+        assert counter.decrement(amount) == max(0, initial - amount)
+
+    @COMMON
+    @given(bits=st.integers(min_value=1, max_value=12),
+           ops=st.lists(st.sampled_from(["inc", "dec"]), max_size=100))
+    def test_counter_matches_clamped_model(self, bits, ops):
+        counter = SaturatingCounter(bits)
+        model = 0
+        top = (1 << bits) - 1
+        for op in ops:
+            if op == "inc":
+                counter.increment()
+                model = min(top, model + 1)
+            else:
+                counter.decrement()
+                model = max(0, model - 1)
+        assert counter.value == model
+
+    @COMMON
+    @given(denominator=st.integers(min_value=1, max_value=64),
+           phase=st.integers(min_value=0, max_value=63),
+           draws=st.integers(min_value=0, max_value=400))
+    def test_ticker_fires_exactly_once_per_window(self, denominator, phase, draws):
+        phase %= denominator
+        ticker = FractionTicker(denominator, phase=phase)
+        fired = [i for i in range(draws) if ticker.tick()]
+        assert fired == [i for i in range(draws) if i % denominator == phase]
