@@ -19,17 +19,26 @@ reference loop):
   of every Table 4 / ``IPC_alone`` baseline run.
 * ``multicore`` — the first Table 6 four-core mix under the headline
   ``adapt_bp32`` policy, the shape of the figure experiments.
+* ``l1_prefetch`` / ``l2_prefetch`` — the ``single_app`` shape with the
+  Table 3 next-line prefetcher and the Section 7 L2 stride prefetcher
+  respectively: the configurations PR 3 made fast-path eligible (they
+  previously forced the generic loop for the whole run).
+* ``ship_llc`` — the four-core mix under SHiP, exercising the native
+  ``"ship"`` fast-op kind (inline signature/outcome/SHCT training that
+  previously dispatched through ``_CALL``-mode hooks).
 
 Each scenario records fast and generic accesses/second plus their ratio in
 ``extra_info``; the ``test_kernel_speedup_recorded`` summary asserts the
 bit-identical kernels actually diverge in speed (fast strictly faster
-everywhere, and >= 2x on the hot loop as a conservative regression gate —
-measured locally at ~3.3x hot-loop / ~2.7x single-app / ~2.2x multicore).
+everywhere, with conservative per-scenario gates — measured locally at
+~3.3x hot-loop / ~2.7x single-app / ~2.2x multicore / ~3.2x l1-prefetch /
+~2.6x l2-prefetch / ~2.0x ship).
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 from repro.cpu.engine import MulticoreEngine
 from repro.experiments.common import scale_factor
@@ -62,9 +71,23 @@ def _scenario(name: str):
         config = SystemConfig.scaled(4)
         workload = design_suite(4, 1)[0]
         quota = max(1_000, quota // 4)
+    elif name == "l1_prefetch":
+        config = replace(
+            SystemConfig.scaled(16).with_cores(1), l1_next_line_prefetch=True
+        )
+        workload = Workload("alone", ("mcf",))
+    elif name == "l2_prefetch":
+        config = replace(
+            SystemConfig.scaled(16).with_cores(1), l2_stride_prefetch=True
+        )
+        workload = Workload("alone", ("mcf",))
+    elif name == "ship_llc":
+        config = SystemConfig.scaled(4)
+        workload = design_suite(4, 1)[0]
+        quota = max(1_000, quota // 4)
     else:  # pragma: no cover - defensive
         raise ValueError(name)
-    policy = "adapt_bp32" if name == "multicore" else "tadrrip"
+    policy = {"multicore": "adapt_bp32", "ship_llc": "ship"}.get(name, "tadrrip")
     return config, workload, policy, quota
 
 
@@ -123,6 +146,21 @@ def test_kernel_multicore_throughput(benchmark):
     assert info["kernel_speedup"] > 1.0
 
 
+def test_kernel_l1_prefetch_throughput(benchmark):
+    info = _drive(benchmark, "l1_prefetch")
+    assert info["kernel_speedup"] > 1.0
+
+
+def test_kernel_l2_prefetch_throughput(benchmark):
+    info = _drive(benchmark, "l2_prefetch")
+    assert info["kernel_speedup"] > 1.0
+
+
+def test_kernel_ship_llc_throughput(benchmark):
+    info = _drive(benchmark, "ship_llc")
+    assert info["kernel_speedup"] > 1.0
+
+
 def _ensure_scenario(name: str) -> None:
     """Measure *name* directly if its benchmark test was deselected.
 
@@ -140,9 +178,22 @@ def _ensure_scenario(name: str) -> None:
         }
 
 
+#: Conservative per-scenario CI gates (local measurements run well above
+#: these): the hot loop isolates pure kernel overhead and must stay >= 2x,
+#: and the two prefetch shapes must hold the PR 3 acceptance floor of 2x.
+SPEEDUP_GATES = {
+    "hot_loop": 2.0,
+    "single_app": 1.5,
+    "multicore": 1.5,
+    "l1_prefetch": 2.0,
+    "l2_prefetch": 2.0,
+    "ship_llc": 1.5,
+}
+
+
 def test_kernel_speedup_recorded(save_result):
     """Summarise the kernel comparison and gate against regressions."""
-    for name in ("hot_loop", "single_app", "multicore"):
+    for name in SPEEDUP_GATES:
         _ensure_scenario(name)
     lines = ["scenario        fast acc/s   generic acc/s   speedup"]
     for name, info in _SPEEDUPS.items():
@@ -152,8 +203,8 @@ def test_kernel_speedup_recorded(save_result):
             f"{info['kernel_speedup']:>8.2f}x"
         )
     save_result("kernel_throughput", "\n".join(lines))
-    # Conservative CI gates (local measurements run well above these):
-    # the hot loop isolates pure kernel overhead and must stay >= 2x.
-    assert _SPEEDUPS["hot_loop"]["kernel_speedup"] >= 2.0
-    assert _SPEEDUPS["single_app"]["kernel_speedup"] >= 1.5
-    assert _SPEEDUPS["multicore"]["kernel_speedup"] >= 1.5
+    for name, gate in SPEEDUP_GATES.items():
+        assert _SPEEDUPS[name]["kernel_speedup"] >= gate, (
+            f"{name} speedup {_SPEEDUPS[name]['kernel_speedup']:.2f}x "
+            f"below the {gate}x gate"
+        )

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from repro.core.footprint import FootprintSampler
 from repro.core.priority import InsertionPriorityPredictor, PriorityBucket
+from repro.policies.base import FastPathOps
 from repro.policies.rrip import RripPolicyBase
 
 
@@ -119,6 +120,27 @@ class AdaptPolicy(RripPolicyBase):
         # set whether or not it hits), then the bucket decides the fill.
         self.samplers[core_id].observe(set_idx, block_addr)
         return self.predictors[core_id].insertion_rrpv(self.buckets[core_id])
+
+    # -- fast-path protocol ---------------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps:
+        """``"adapt"`` kind: family RRIP rows plus the per-core samplers.
+
+        The demand-hit tap (promotion + Footprint-number sampling on
+        monitored sets) is the only hook ADAPT adds on the hit path;
+        ``decide_insertion`` (the miss-side sample + bucket lookup) and
+        ``end_interval`` stay method calls.
+        """
+        cls = type(self)
+        return FastPathOps(
+            "adapt",
+            self.rrpv,
+            max_code=self.max_rrpv,
+            hit_inline=cls.on_hit is AdaptPolicy.on_hit,
+            victim_inline=cls.victim is RripPolicyBase.victim,
+            fill_inline=cls.on_fill is RripPolicyBase.on_fill,
+            samplers=self.samplers,
+        )
 
     # -- interval clock -------------------------------------------------------------
 

@@ -15,11 +15,19 @@ compiled closures* whose free variables carry all hot state:
   L2 level (always plain per-core DRRIP) are inlined completely — stats,
   recency/RRPV updates, set duelling, victim selection and fills all
   operate directly on the caches' per-set arrays;
-* the shared LLC runs *any* policy: hooks a policy left at its family
-  defaults are inlined through the :class:`~repro.policies.base.FastPathOps`
-  protocol (preallocated per-set RRPV/stamp arrays), overridden hooks stay
-  method calls, so SHiP's training, ADAPT's monitor taps, bypass and
-  monitoring wrappers behave identically;
+* the shared LLC runs *any* policy: hooks a policy left at known
+  implementations are inlined through the
+  :class:`~repro.policies.base.FastPathOps` protocol — family RRPV/stamp
+  arrays plus the native ``"ship"``/``"eaf"``/``"adapt"`` kinds (SHiP
+  signature/outcome training, EAF Bloom-filter updates, ADAPT's monitor
+  tap) and inline set-duelling PSEL movement — while overridden hooks
+  stay method calls, so bypass and monitoring wrappers behave
+  identically;
+* both prefetch shapes of the configuration space are inlined too: the
+  L1 next-line prefetch (Table 3) and the per-core L2 stride prefetcher
+  issue/fill sequence (:mod:`repro.cache.prefetch`), whose traffic is
+  non-demand end to end (footnote 4: no recency promotion, no PSEL
+  movement, no monitor samples, no interval ticks);
 * bank, DRAM, arbiter, MSHR and write-back-buffer timing arithmetic is
   inlined with precomputed masks (the generic path recomputes ``ilog2``
   per access);
@@ -30,12 +38,12 @@ compiled closures* whose free variables carry all hot state:
 Every operation mutates the *same* state objects in the *same* order as
 the generic path, so the two kernels are bit-for-bit equivalent — which
 the golden-master suite under ``tests/golden/`` machine-checks for every
-registered policy.
+registered policy on both the plain and the prefetch-enabled platforms.
 
 ``run_fast`` returns ``None`` when the platform does not match the
-supported shape (prefetchers enabled, or non-standard private-level
-policies) and when ``REPRO_NO_FASTPATH`` is set; the engine then falls
-back to the generic loop.
+supported shape (non-standard private-level policies, or duck-typed
+trace sources without chunked consumption) and when ``REPRO_NO_FASTPATH``
+is set; the engine then falls back to the generic loop.
 """
 
 from __future__ import annotations
@@ -47,8 +55,12 @@ from repro.policies.base import BYPASS, ReplacementPolicy
 from repro.policies.drrip import DrripPolicy
 from repro.policies.lru import LruPolicy
 
-#: Inline-dispatch modes for the LLC hooks.
-_CALL, _RRIP, _STACK = 0, 1, 2
+#: Inline-dispatch modes for the LLC hit/victim/fill hooks.
+_CALL, _RRIP, _STACK, _SHIP, _ADAPT = 0, 1, 2, 3, 4
+#: Inline-dispatch modes for the LLC eviction hook.
+_EV_NONE, _EV_CALL, _EV_SHIP, _EV_EAF = 0, 1, 2, 3
+
+_MASK64 = (1 << 64) - 1
 
 
 def fastpath_enabled() -> bool:
@@ -82,8 +94,6 @@ def run_fast(engine) -> list | None:
     match the supported shape (the caller must then use the generic loop).
     """
     h = engine.hierarchy
-    if h.l1_next_line_prefetch or h.l2_prefetchers is not None:
-        return None
     l1s, l2s, llc = h.l1s, h.l2s, h.llc
     for cache in l1s:
         if type(cache.policy) is not LruPolicy:
@@ -118,21 +128,63 @@ def run_fast(engine) -> list | None:
 
     policy = llc.policy
     ops = policy.fast_ops()
-    if ops is None:
-        hit_mode = victim_mode = fill_mode = _CALL
-        rows3 = nmru3 = nlru3 = None
-        max3 = 0
-    else:
-        kind = _RRIP if ops.kind == "rrip" else _STACK
-        hit_mode = kind if ops.hit_inline else _CALL
-        victim_mode = kind if ops.victim_inline else _CALL
-        fill_mode = kind if ops.fill_inline else _CALL
-        rows3 = ops.rows
-        nmru3, nlru3 = ops.next_mru, ops.next_lru
-        max3 = ops.max_code
     cls3 = type(policy)
     call_on_miss = cls3.on_miss is not ReplacementPolicy.on_miss
     call_on_evict = cls3.on_evict is not ReplacementPolicy.on_evict
+    sig3 = out3 = shct3 = None
+    shct_max3 = sig_entries3 = sig_bits3 = sig_mask3 = 0
+    salt3 = None
+    eaf3 = None
+    eaf_mults3: tuple = ()
+    eaf_size3 = eaf_cap3 = 0
+    samplers3 = None
+    duel_roles3 = duel_psels3 = None
+    if ops is None:
+        hit_mode = victim_mode = fill_mode = _CALL
+        evict_mode = _EV_CALL if call_on_evict else _EV_NONE
+        rows3 = nmru3 = nlru3 = None
+        max3 = 0
+    else:
+        kind = ops.kind
+        base_mode = _STACK if kind == "stack" else _RRIP
+        hit_kind = _SHIP if kind == "ship" else _ADAPT if kind == "adapt" else base_mode
+        fill_kind = _SHIP if kind == "ship" else base_mode
+        hit_mode = hit_kind if ops.hit_inline else _CALL
+        victim_mode = base_mode if ops.victim_inline else _CALL
+        fill_mode = fill_kind if ops.fill_inline else _CALL
+        if kind == "ship" and ops.evict_inline:
+            evict_mode = _EV_SHIP
+        elif kind == "eaf" and ops.evict_inline:
+            evict_mode = _EV_EAF
+        elif call_on_evict:
+            evict_mode = _EV_CALL
+        else:
+            evict_mode = _EV_NONE
+        rows3 = ops.rows
+        nmru3, nlru3 = ops.next_mru, ops.next_lru
+        max3 = ops.max_code
+        if kind == "ship":
+            sig3, out3 = ops.ship_sigs, ops.ship_outcomes
+            shct3 = ops.shct
+            shct_max3 = ops.shct_max
+            sig_entries3 = ops.shct_entries
+            sig_bits3 = ops.sig_bits
+            sig_mask3 = (1 << sig_bits3) - 1
+            salt3 = ops.sig_salt_shift
+        elif kind == "eaf":
+            eaf3 = ops.eaf_filter
+            eaf_mults3 = tuple(eaf3._MULTIPLIERS[: eaf3.num_hashes])
+            eaf_size3 = eaf3.size
+            eaf_cap3 = eaf3.capacity
+        elif kind == "adapt":
+            samplers3 = ops.samplers
+        if ops.miss_inline:
+            # Duelling PSEL movement executes inline; the PSEL object's
+            # ``value`` is written through so decide_insertion (a call)
+            # observes every update.
+            call_on_miss = False
+            duel_roles3 = ops.duel_roles
+            duel_psels3 = ops.duel_psels
     p_on_hit = policy.on_hit
     p_on_miss = policy.on_miss
     p_on_evict = policy.on_evict
@@ -182,6 +234,12 @@ def run_fast(engine) -> list | None:
     mshr_stalls = mshr.stalls if mshr is not None else 0
     msh_get = msh_by.get if msh_by is not None else None
     llc_get = llc_lookup.get
+    llc_sets = llc.num_sets
+
+    # -- prefetch configuration ---------------------------------------------
+    l1_pf = h.l1_next_line_prefetch
+    l2_pfs = h.l2_prefetchers
+    prefetches_issued = h.prefetches_issued
 
     # -- DRAM write-back path (LLC write-back buffer inlined) ---------------
 
@@ -262,7 +320,22 @@ def run_fast(engine) -> list | None:
         tick_phase = tick2._phase
         tick_den = tick2.denominator
         l2_get = lookup2.get
-        roles_get = pol2._duel._roles_for(0).get
+        roles_get = pol2._duel.roles_for(0).get
+        if samplers3 is not None:
+            smp3 = samplers3[cid]
+            mon_get = smp3._index_of.get
+            mon_arrays = smp3._arrays
+        else:
+            smp3 = mon_get = mon_arrays = None
+        if duel_psels3 is not None:
+            d_psel = duel_psels3[cid]
+            d_get = duel_roles3[cid].get
+            d_max = d_psel.max_value
+        else:
+            d_psel = d_get = None
+            d_max = 0
+        pf2 = l2_pfs[cid] if l2_pfs is not None else None
+        pf2_train = pf2.train if pf2 is not None else None
         wb2 = h.l2_wb_buffers[cid] if h.l2_wb_buffers is not None else None
         if wb2 is not None:
             wb2_heap = wb2._retires
@@ -314,7 +387,25 @@ def run_fast(engine) -> list | None:
                 victim_addr = row[way]
                 victim_dirty = llc_dirty[s][way]
                 victim_owner = llc_owner[s][way]
-                if call_on_evict:
+                if evict_mode == _EV_SHIP:
+                    # Eviction without reuse punishes the line's signature.
+                    if not out3[s][way]:
+                        sg = sig3[s][way]
+                        v = shct3[sg]
+                        if v > 0:
+                            shct3[sg] = v - 1
+                elif evict_mode == _EV_EAF:
+                    # Bloom-filter insert (multiplicative hash family); the
+                    # bit array is re-read because clear() rebinds it.
+                    mixed = (victim_addr ^ (victim_addr >> 17)) + 0x9E37
+                    bits = eaf3._bits
+                    for mult in eaf_mults3:
+                        bits[(((mixed * mult) & _MASK64) >> 31) % eaf_size3] = 1
+                    ins = eaf3.inserted + 1
+                    eaf3.inserted = ins
+                    if ins >= eaf_cap3:
+                        eaf3.clear()
+                elif evict_mode == _EV_CALL:
                     p_on_evict(
                         s,
                         way,
@@ -336,6 +427,18 @@ def run_fast(engine) -> list | None:
             llc_fl[cid] += 1
             if fill_mode == _RRIP:
                 rows3[s][way] = decision
+            elif fill_mode == _SHIP:
+                # RRIP install plus the folded PC signature and a fresh
+                # outcome bit (write-back fills are born "reused" so their
+                # eviction never punishes signature 0).
+                rows3[s][way] = decision
+                value = pc if salt3 is None else pc ^ (cid << salt3)
+                folded = 0
+                while value:
+                    folded ^= value & sig_mask3
+                    value >>= sig_bits3
+                sig3[s][way] = folded % sig_entries3
+                out3[s][way] = not is_demand
             elif fill_mode == _STACK:
                 if decision == 1:  # MRU_INSERT
                     st = nmru3[s]
@@ -462,6 +565,129 @@ def run_fast(engine) -> list | None:
             if victim_dirty:
                 wb_to_llc(victim_addr, now)
 
+        def fetch_nondemand(addr, pc, now):
+            """L2 and below for a non-demand (prefetch) fill.
+
+            Mirrors the demand path of :func:`fetch_below` minus recency
+            promotion, PSEL movement, prefetcher training and interval
+            accounting — prefetches are non-demand end to end (paper
+            footnote 4) and never stall the core, so the completion time
+            is discarded.
+            """
+            nonlocal arb_reqs, arb_throt, bank_accs, bank_confs
+            nonlocal mshr_merged, mshr_stalls
+            nonlocal dram_reads, dram_rowhits, dram_rowconf
+            t_l2 = now + l1_latency
+            s = addr & mask2
+            way = l2_get(addr, -1)
+            if way >= 0:
+                # Non-demand hit: no RRPV promotion, no reuse marking.
+                oh2[0] += 1
+                return
+            om2[0] += 1
+            # DRRIP for non-demand traffic: no PSEL movement, distant
+            # insertion, no ticker draw.
+            victim_addr, victim_dirty = l2_fill(addr, s, maxr2, False)
+            if victim_dirty:
+                wb_to_llc(victim_addr, t_l2)
+
+            # The prefetch request travels through the VPC arbiter too.
+            t_in = t_l2 + l2_latency
+            arb_reqs += 1
+            vclock = arb_virtual[cid]
+            start = t_in
+            earliest = vclock - arb_window
+            if earliest > t_in:
+                start = earliest
+                arb_throt += 1
+            base = vclock if vclock > start else start
+            arb_virtual[cid] = base + arb_cost
+
+            # LLC non-demand read (content first, bank timing second).
+            s = addr & llc_mask
+            way = llc_get(addr, -1)
+            llc_hit = way >= 0
+            victim_addr = -1
+            victim_dirty = False
+            if llc_hit:
+                llc_oh[cid] += 1
+                if hit_mode == _CALL:
+                    # Family defaults ignore non-demand hits; overridden
+                    # hooks must still see them.
+                    p_on_hit(s, way, cid, False, addr)
+            else:
+                llc_om[cid] += 1
+                if call_on_miss:
+                    p_on_miss(s, cid, False)
+                decision = p_decide(s, cid, pc, addr, False)
+                if decision is BYPASS:
+                    llc_by[cid] += 1
+                else:
+                    victim_addr, victim_dirty = llc_fill(
+                        addr, s, pc, decision, False, False
+                    )
+            bank = (addr & bank_mask) ^ ((addr >> 8) & bank_mask)
+            bstart = bank_free[bank]
+            if bstart > start:
+                bank_confs += 1
+            else:
+                bstart = start
+            bank_free[bank] = bstart + bank_occ
+            bank_accs += 1
+            t_bank = bstart + bank_lat
+            if llc_hit:
+                return
+            if victim_dirty:
+                wb_to_dram(victim_addr, t_bank)
+
+            # LLC miss: fill from DRAM through the MSHR (same inline
+            # sequence as the demand path).
+            t_dram = t_bank
+            if mshr is not None:
+                done = msh_get(addr)
+                if done is not None and done > t_bank:
+                    mshr_merged += 1
+                    return
+                while msh_heap and msh_heap[0] <= t_dram:
+                    heappop(msh_heap)
+                if not msh_heap:
+                    msh_by.clear()
+                elif len(msh_by) > 2 * len(msh_heap):
+                    keep = {blk: tt for blk, tt in msh_by.items() if tt > t_dram}
+                    msh_by.clear()
+                    msh_by.update(keep)
+                if len(msh_heap) >= msh_entries:
+                    t_dram = msh_heap[0]
+                    mshr_stalls += 1
+                    while msh_heap and msh_heap[0] <= t_dram:
+                        heappop(msh_heap)
+                    if not msh_heap:
+                        msh_by.clear()
+                    elif len(msh_by) > 2 * len(msh_heap):
+                        keep = {
+                            blk: tt for blk, tt in msh_by.items() if tt > t_dram
+                        }
+                        msh_by.clear()
+                        msh_by.update(keep)
+            dram_reads += 1
+            dram_row = addr // dram_bpr
+            bank = (dram_row & dram_mask) ^ ((dram_row >> 8) & dram_mask)
+            dstart = dram_busy[bank]
+            if dstart < t_dram:
+                dstart = t_dram
+            if dram_open[bank] == dram_row:
+                latency = dram_hit
+                dram_rowhits += 1
+            else:
+                latency = dram_conf
+                dram_rowconf += 1
+                dram_open[bank] = dram_row
+            dram_busy[bank] = dstart + dram_occ
+            done = dstart + latency
+            if mshr is not None:
+                heappush(msh_heap, done)
+                msh_by[addr] = done
+
         def fetch_below(addr, pc, now):
             """L2 and below for a demand access.
 
@@ -470,6 +696,7 @@ def run_fast(engine) -> list | None:
             nonlocal psel_val, tick_cnt, arb_reqs, arb_throt
             nonlocal bank_accs, bank_confs, mshr_merged, mshr_stalls
             nonlocal dram_reads, dram_rowhits, dram_rowconf
+            nonlocal prefetches_issued
             t_l2 = now + l1_latency
             s = addr & mask2
             way = l2_get(addr, -1)
@@ -503,6 +730,14 @@ def run_fast(engine) -> list | None:
             if victim_dirty:
                 wb_to_llc(victim_addr, t_l2)
 
+            if pf2_train is not None:
+                # Stride prefetcher trains on L2 demand misses and fills
+                # the L2 with non-demand traffic (footnote 4 semantics).
+                for pfa in pf2_train(pc, addr):
+                    if pfa >= 0 and pfa not in lookup2:
+                        prefetches_issued += 1
+                        fetch_nondemand(pfa, pc, now)
+
             # L2 miss: the request travels through the VPC arbiter.
             t_in = t_l2 + l2_latency
             arb_reqs += 1
@@ -526,6 +761,23 @@ def run_fast(engine) -> list | None:
                 llc_reused[s][way] = True
                 if hit_mode == _RRIP:
                     rows3[s][way] = 0
+                elif hit_mode == _SHIP:
+                    # Promotion plus signature training: every demand
+                    # re-reference sets the outcome bit and bumps the SHCT.
+                    rows3[s][way] = 0
+                    out3[s][way] = True
+                    sg = sig3[s][way]
+                    v = shct3[sg]
+                    if v < shct_max3:
+                        shct3[sg] = v + 1
+                elif hit_mode == _ADAPT:
+                    # Promotion plus the Footprint monitor tap (sampled
+                    # sets only; the dict miss is the common case).
+                    rows3[s][way] = 0
+                    ai = mon_get(s)
+                    if ai is not None:
+                        smp3.samples += 1
+                        mon_arrays[ai].observe(addr // llc_sets)
                 elif hit_mode == _STACK:
                     st = nmru3[s]
                     rows3[s][way] = st
@@ -534,7 +786,19 @@ def run_fast(engine) -> list | None:
                     p_on_hit(s, way, cid, True, addr)
             else:
                 llc_dm[cid] += 1
-                if call_on_miss:
+                if d_psel is not None:
+                    # Inline duelling on_miss: leader-set demand misses
+                    # move this thread's PSEL (saturating both ways).
+                    role = d_get(s, -1)
+                    if role == 0:
+                        v = d_psel.value + 1
+                        if v <= d_max:
+                            d_psel.value = v
+                    elif role == 1:
+                        v = d_psel.value - 1
+                        if v >= 0:
+                            d_psel.value = v
+                elif call_on_miss:
                     p_on_miss(s, cid, True)
                 decision = p_decide(s, cid, pc, addr, True)
                 if decision is BYPASS:
@@ -607,17 +871,23 @@ def run_fast(engine) -> list | None:
                 msh_by[addr] = done
             return done, True
 
-        return fetch_below, l1_victim_to_l2, sync_core
+        return fetch_below, l1_victim_to_l2, fetch_nondemand, sync_core
 
     fetch_below_for = [None] * n
     l1_victim_for = [None] * n
+    fetch_nd_for = [None] * n
     core_syncs = [None] * n
     for cid in range(n):
-        fetch_below_for[cid], l1_victim_for[cid], core_syncs[cid] = compile_core(cid)
+        (
+            fetch_below_for[cid],
+            l1_victim_for[cid],
+            fetch_nd_for[cid],
+            core_syncs[cid],
+        ) = compile_core(cid)
 
     # -- L1 state (plain LRU, single-core stats), packed per core -----------
     # Hit tuple: (mask, lookup.get, dh, reused, dirty, stamp, next_mru)
-    # Miss tuple: (lookup, valid, rows, occ, dm, ev, dev, fl)
+    # Miss tuple: (lookup, valid, rows, occ, dm, om, ev, dev, fl)
     l1_hit_state = []
     l1_miss_state = []
     for c in l1s:
@@ -641,6 +911,7 @@ def run_fast(engine) -> list | None:
                 c.addrs,
                 c.occupancy,
                 st.demand_misses,
+                st.other_misses,
                 st.evictions,
                 st.dirty_evictions,
                 st.fills,
@@ -697,6 +968,7 @@ def run_fast(engine) -> list | None:
             imlp_c = inv_mlp[cid]
             fetch_c = fetch_below_for[cid]
             l1v_c = l1_victim_for[cid]
+            fetch_nd_c = fetch_nd_for[cid]
             bhits = 0  # L1 hits accumulated locally, flushed at sync points
             buf_a = t_addrs[cid]
             buf_p = t_pcs[cid]
@@ -744,6 +1016,7 @@ def run_fast(engine) -> list | None:
                         rows1,
                         occ1,
                         dm1,
+                        om1,
                         ev1,
                         dev1,
                         fl1,
@@ -778,6 +1051,43 @@ def run_fast(engine) -> list | None:
                     if victim_dirty:
                         l1v_c(victim_addr, t)
                     done, llc_demand_miss = fetch_c(addr, buf_p[pos], t)
+                    if l1_pf:
+                        # Next-line prefetch into L1 (Table 3): issued on
+                        # every demand L1 miss, non-demand all the way
+                        # down, never stalls the core.
+                        pfa = addr + 1
+                        if pfa not in lookup1:
+                            prefetches_issued += 1
+                            om1[0] += 1
+                            victim_addr = -1
+                            victim_dirty = False
+                            s = pfa & mask1
+                            row = rows1[s]
+                            if valid1[s] < len(row):
+                                way = row.index(-1)
+                                valid1[s] += 1
+                            else:
+                                srow = stamp1[s]
+                                way = srow.index(min(srow))
+                                victim_addr = row[way]
+                                victim_dirty = dirty1[s][way]
+                                ev1[0] += 1
+                                if victim_dirty:
+                                    dev1[0] += 1
+                                occ1[0] -= 1
+                                del lookup1[victim_addr]
+                            row[way] = pfa
+                            lookup1[pfa] = way
+                            dirty1[s][way] = False
+                            reused1[s][way] = False
+                            occ1[0] += 1
+                            fl1[0] += 1
+                            stamp = nmru1[s]
+                            stamp1[s][way] = stamp
+                            nmru1[s] = stamp + 1
+                            if victim_dirty:
+                                l1v_c(victim_addr, t)
+                            fetch_nd_c(pfa, buf_p[pos], t)
                     pos += 1
                     count += 1
                     instr += ipa_c
@@ -854,6 +1164,7 @@ def run_fast(engine) -> list | None:
             sources[i].commit(t_pos[i])
         engine._miss_clock = miss_clock
         engine.intervals_completed = intervals_completed
+        h.prefetches_issued = prefetches_issued
         dram.reads = dram_reads
         dram.writes = dram_writes
         dram.row_hits = dram_rowhits

@@ -49,7 +49,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="one of: list, fig1, fig3, fig4, fig6, fig7, fig8, "
-        "table2, table3, table4, table6, table7, ablations, golden",
+        "table2, table3, table4, table6, table7, ablations, golden, "
+        "profile <bench>",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="profile only: the experiment to run under cProfile (e.g. fig3)",
     )
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
@@ -79,6 +86,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="golden only: fixture directory (default: tests/golden/fixtures)",
     )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="profile only: number of cumulative-time rows to print",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        help="profile only: also dump raw pstats data to this file "
+        "(inspectable with snakeviz / pstats)",
+    )
     args = parser.parse_args(argv)
 
     names = (
@@ -86,20 +105,28 @@ def main(argv: list[str] | None = None) -> int:
         "ablations golden"
     ).split()
     if args.experiment == "list":
-        print("\n".join(names))
+        print("\n".join(names + ["profile <bench>"]))
         return 0
-    if args.experiment not in names:
-        parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
+    if args.experiment == "profile":
+        if args.target not in names or args.target == "golden":
+            parser.error(
+                f"profile needs a bench to run, one of: {' '.join(n for n in names if n != 'golden')}"
+            )
+    else:
+        if args.target is not None:
+            parser.error(
+                f"unrecognized argument {args.target!r} (only 'profile' takes a target)"
+            )
+        if args.experiment not in names:
+            parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
 
     if args.experiment == "golden":
         return _golden(args.fixtures_dir, args.regen)
 
-    config = SystemConfig.scaled(args.cores)
-    settings = ExperimentSettings.from_env()
-    if args.seed:
-        settings = ExperimentSettings(
-            master_seed=args.seed, workloads=settings.workloads
-        )
+    if args.experiment == "profile":
+        return _profile(args)
+
+    config, settings = _config_and_settings(args)
     runner = Runner(
         config,
         settings,
@@ -108,37 +135,84 @@ def main(argv: list[str] | None = None) -> int:
         use_cache=not args.no_cache,
     )
 
-    if args.experiment == "fig1":
-        print(run_fig1(runner, args.cores).render())
-    elif args.experiment == "fig3":
+    _run_experiment(args.experiment, runner, config, settings, args.cores)
+    print(runner.cache_summary(), file=sys.stderr)
+    return 0
+
+
+def _config_and_settings(args) -> tuple[SystemConfig, ExperimentSettings]:
+    """The platform + budgets one invocation runs with (seed override applied)."""
+    config = SystemConfig.scaled(args.cores)
+    settings = ExperimentSettings.from_env()
+    if args.seed:
+        settings = ExperimentSettings(
+            master_seed=args.seed, workloads=settings.workloads
+        )
+    return config, settings
+
+
+def _run_experiment(name: str, runner, config, settings, cores: int) -> None:
+    """Execute one named experiment and print its rendering."""
+    if name == "fig1":
+        print(run_fig1(runner, cores).render())
+    elif name == "fig3":
         print(run_scurve(runner, 16).render())
-    elif args.experiment == "fig4":
+    elif name == "fig4":
         result = run_perapp(runner, 16)
         print(result.render(thrashing=True))
         print()
         print(result.render(thrashing=False))
-    elif args.experiment == "fig6":
-        print(run_fig6(runner, args.cores).render())
-    elif args.experiment == "fig7":
+    elif name == "fig6":
+        print(run_fig6(runner, cores).render())
+    elif name == "fig7":
         print(run_fig7(runner).render())
-    elif args.experiment == "fig8":
-        for cores in (4, 8, 20, 24):
-            print(run_scurve(runner, cores).render())
+    elif name == "fig8":
+        for n in (4, 8, 20, 24):
+            print(run_scurve(runner, n).render())
             print()
-    elif args.experiment == "table2":
+    elif name == "table2":
         print(render_table2())
-    elif args.experiment == "table3":
+    elif name == "table3":
         print(render_table3(config))
-    elif args.experiment == "table4":
+    elif name == "table4":
         print(run_table4(config, settings, pool=runner.pool).render())
-    elif args.experiment == "table6":
+    elif name == "table6":
         print(render_table6(settings.master_seed))
-    elif args.experiment == "table7":
+    elif name == "table7":
         print(run_table7(runner).render())
-    elif args.experiment == "ablations":
+    elif name == "ablations":
         print(run_priority_range_ablation(runner).render())
         print(run_interval_ablation(runner).render())
         print(run_monitor_sets_ablation(runner).render())
+
+
+def _profile(args) -> int:
+    """``repro-experiments profile <bench>``: cProfile + top-N cumulative dump.
+
+    The bench runs inline (one process, store bypassed) so the profile
+    captures real simulation work rather than pickling or cache reads —
+    exactly the view a perf PR needs to locate hot spots.  ``--top``
+    bounds the table; ``--profile-out`` keeps the raw stats for tooling.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    config, settings = _config_and_settings(args)
+    runner = Runner(config, settings, jobs=1, results_dir=None, use_cache=False)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run_experiment(args.target, runner, config, settings, args.cores)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(stream.getvalue())
+    if args.profile_out:
+        stats.dump_stats(args.profile_out)
+        print(f"raw profile written to {args.profile_out}", file=sys.stderr)
     print(runner.cache_summary(), file=sys.stderr)
     return 0
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import replace
 from pathlib import Path
 
 from repro.cpu import fastpath
@@ -40,7 +41,7 @@ from repro.trace.workloads import Workload
 
 #: Bumped when the fixture record format itself changes (not when simulated
 #: behaviour changes — that is exactly what regeneration must make visible).
-FIXTURE_FORMAT = 1
+FIXTURE_FORMAT = 2
 
 #: Every registered base policy, plus the bypass-wrapper composition the
 #: Figure 6 study uses, so the wrapper's delegation is pinned too.
@@ -56,6 +57,26 @@ GOLDEN_WORKLOADS: dict[str, tuple[str, ...]] = {
     "thrash-mix": ("mcf", "libq"),
     "friendly-mix": ("gcc", "calc"),
 }
+
+#: Platform variants: the plain Table 3 shape, and the prefetch-everything
+#: shape (L1 next-line plus per-core L2 stride prefetchers) that pins the
+#: kernel's non-demand fetch path.
+GOLDEN_PLATFORMS: dict[str, dict] = {
+    "base": {},
+    "prefetch": {"l1_next_line_prefetch": True, "l2_stride_prefetch": True},
+}
+
+#: Policies pinned on the prefetch platform: one per inline family (stack,
+#: duelled RRIP, SHiP training, EAF filter, ADAPT monitor + bypass) — the
+#: non-demand path is policy-independent beyond the hook dispatch, so this
+#: subset covers every dispatch mode without doubling the whole suite.
+PREFETCH_POLICIES: tuple[str, ...] = (
+    "lru",
+    "tadrrip",
+    "ship",
+    "eaf",
+    "adapt_bp32",
+)
 
 #: Small budgets keep the full suite (16 policies x 2 workloads) in seconds.
 QUOTA = 1_200
@@ -81,26 +102,34 @@ def _digest(payload) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
-def case_name(policy: str, workload: str) -> str:
-    return f"{policy.replace('+', '_')}__{workload}"
+def case_name(policy: str, workload: str, platform: str = "base") -> str:
+    suffix = "" if platform == "base" else "__pf"
+    return f"{policy.replace('+', '_')}__{workload}{suffix}"
 
 
 def iter_cases():
-    """All ``(policy, workload_name, benchmarks)`` golden cases."""
+    """All ``(policy, workload_name, benchmarks, platform)`` golden cases."""
     for policy in GOLDEN_POLICIES:
         for workload, benchmarks in GOLDEN_WORKLOADS.items():
-            yield policy, workload, benchmarks
+            yield policy, workload, benchmarks, "base"
+    for policy in PREFETCH_POLICIES:
+        for workload, benchmarks in GOLDEN_WORKLOADS.items():
+            yield policy, workload, benchmarks, "prefetch"
 
 
 def run_case(
-    policy: str, benchmarks: tuple[str, ...], *, force_generic: bool = False
+    policy: str,
+    benchmarks: tuple[str, ...],
+    *,
+    platform: str = "base",
+    force_generic: bool = False,
 ) -> dict:
     """Execute one golden case and return its exhaustive observation record.
 
     Every value is JSON-safe and round-trips exactly (floats serialise via
     ``repr`` and compare bit-for-bit after a load).
     """
-    config = golden_config()
+    config = replace(golden_config(), **GOLDEN_PLATFORMS[platform])
     hierarchy = build_hierarchy(config, policy)
     sources = build_sources(Workload("golden", benchmarks), config, MASTER_SEED)
     engine = MulticoreEngine(
@@ -127,8 +156,15 @@ def run_case(
     record = {
         "format": FIXTURE_FORMAT,
         "policy": policy,
+        "platform": platform,
         "benchmarks": list(benchmarks),
         "config": config.name,
+        "prefetches_issued": hierarchy.prefetches_issued,
+        "l2_prefetchers": (
+            [[p.trained, p.issued] for p in hierarchy.l2_prefetchers]
+            if hierarchy.l2_prefetchers is not None
+            else None
+        ),
         "quota": QUOTA,
         "warmup": WARMUP,
         "master_seed": MASTER_SEED,
@@ -195,8 +231,10 @@ def default_fixture_dir() -> Path:
     return Path("tests/golden/fixtures")
 
 
-def fixture_path(directory: Path, policy: str, workload: str) -> Path:
-    return Path(directory) / f"{case_name(policy, workload)}.json"
+def fixture_path(
+    directory: Path, policy: str, workload: str, platform: str = "base"
+) -> Path:
+    return Path(directory) / f"{case_name(policy, workload, platform)}.json"
 
 
 def write_fixtures(directory: Path | str | None = None) -> list[Path]:
@@ -204,9 +242,9 @@ def write_fixtures(directory: Path | str | None = None) -> list[Path]:
     directory = Path(directory) if directory else default_fixture_dir()
     directory.mkdir(parents=True, exist_ok=True)
     written = []
-    for policy, workload, benchmarks in iter_cases():
-        record = run_case(policy, benchmarks)
-        path = fixture_path(directory, policy, workload)
+    for policy, workload, benchmarks, platform in iter_cases():
+        record = run_case(policy, benchmarks, platform=platform)
+        path = fixture_path(directory, policy, workload, platform)
         with path.open("w", encoding="utf-8") as fh:
             json.dump(record, fh, indent=1, sort_keys=True)
             fh.write("\n")
@@ -233,15 +271,15 @@ def verify_fixtures(directory: Path | str | None = None) -> dict[str, list[str]]
     """
     directory = Path(directory) if directory else default_fixture_dir()
     failures: dict[str, list[str]] = {}
-    for policy, workload, benchmarks in iter_cases():
-        name = case_name(policy, workload)
-        path = fixture_path(directory, policy, workload)
+    for policy, workload, benchmarks, platform in iter_cases():
+        name = case_name(policy, workload, platform)
+        path = fixture_path(directory, policy, workload, platform)
         if not path.is_file():
             failures[name] = [f"missing fixture {path}"]
             continue
         with path.open(encoding="utf-8") as fh:
             expected = json.load(fh)
-        actual = run_case(policy, benchmarks)
+        actual = run_case(policy, benchmarks, platform=platform)
         problems = compare_records(expected, actual)
         if problems:
             failures[name] = problems

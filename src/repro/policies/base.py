@@ -54,12 +54,13 @@ class FastPathOps:
     The fused simulation kernel (:mod:`repro.cpu.fastpath`) asks each policy
     for its :class:`FastPathOps` via :meth:`ReplacementPolicy.fast_ops`.  A
     policy that opts in exposes the *same* per-set integer arrays its object
-    API mutates, plus flags saying which of the three hot hooks (demand-hit
-    promotion, victim selection, fill) are the family defaults and may
-    therefore be executed inline by the kernel instead of through a method
-    call.  A policy that overrides a hook (SHiP's outcome training, ADAPT's
-    monitor tap) keeps that hook as a call and still gets the other two
-    inlined — behaviour is identical either way, only the dispatch differs.
+    API mutates, plus flags saying which of the hot hooks (demand-hit
+    promotion, victim selection, fill, eviction training, duel-miss
+    accounting) are known implementations the kernel may execute inline
+    instead of through a method call.  A policy that overrides a hook
+    beyond what its kind describes keeps that hook as a call and still gets
+    the others inlined — behaviour is identical either way, only the
+    dispatch differs.
 
     ``kind`` selects the inline interpretation:
 
@@ -70,6 +71,21 @@ class FastPathOps:
       ``next_mru``/``next_lru`` clocks; promotion and MRU fills stamp from
       ``next_mru``, LRU fills stamp from ``next_lru``, the victim is the
       minimum stamp.
+    * ``"ship"`` — RRIP rows plus SHiP's per-line signature/outcome arrays
+      (``ship_sigs``/``ship_outcomes``) and the shared SHCT: demand-hit
+      promotion also trains the line's signature, fills record the folded
+      PC signature, evictions of never-reused lines decrement the SHCT.
+    * ``"eaf"`` — plain RRIP rows; evictions insert the victim address into
+      ``eaf_filter`` (clearing it when full).
+    * ``"adapt"`` — plain RRIP rows; demand hits additionally tap the
+      per-application Footprint ``samplers`` (monitored sets only).
+
+    Orthogonally, ``miss_inline`` promotes a set-duelling ``on_miss``
+    (DIP/DRRIP/TA-DRRIP PSEL movement) to inline execution: ``duel_roles``
+    holds one ``{set: role}`` dict per core and ``duel_psels`` the
+    corresponding :class:`~repro.util.counters.PselCounter` objects (the
+    kernel writes their ``value`` through, so ``decide_insertion`` calls
+    observe every update).
     """
 
     __slots__ = (
@@ -81,6 +97,19 @@ class FastPathOps:
         "hit_inline",
         "victim_inline",
         "fill_inline",
+        "evict_inline",
+        "miss_inline",
+        "ship_sigs",
+        "ship_outcomes",
+        "shct",
+        "shct_max",
+        "shct_entries",
+        "sig_bits",
+        "sig_salt_shift",
+        "eaf_filter",
+        "samplers",
+        "duel_roles",
+        "duel_psels",
     )
 
     def __init__(
@@ -94,6 +123,19 @@ class FastPathOps:
         hit_inline: bool = False,
         victim_inline: bool = False,
         fill_inline: bool = False,
+        evict_inline: bool = False,
+        miss_inline: bool = False,
+        ship_sigs: list | None = None,
+        ship_outcomes: list | None = None,
+        shct: list | None = None,
+        shct_max: int = 0,
+        shct_entries: int = 0,
+        sig_bits: int = 0,
+        sig_salt_shift: int | None = None,
+        eaf_filter: Any = None,
+        samplers: list | None = None,
+        duel_roles: list | None = None,
+        duel_psels: list | None = None,
     ) -> None:
         self.kind = kind
         self.rows = rows
@@ -103,6 +145,19 @@ class FastPathOps:
         self.hit_inline = hit_inline
         self.victim_inline = victim_inline
         self.fill_inline = fill_inline
+        self.evict_inline = evict_inline
+        self.miss_inline = miss_inline
+        self.ship_sigs = ship_sigs
+        self.ship_outcomes = ship_outcomes
+        self.shct = shct
+        self.shct_max = shct_max
+        self.shct_entries = shct_entries
+        self.sig_bits = sig_bits
+        self.sig_salt_shift = sig_salt_shift
+        self.eaf_filter = eaf_filter
+        self.samplers = samplers
+        self.duel_roles = duel_roles
+        self.duel_psels = duel_psels
 
 
 class ReplacementPolicy:

@@ -8,6 +8,7 @@ TA-DRRIP (:mod:`repro.policies.tadrrip`).
 
 from __future__ import annotations
 
+from repro.policies.base import FastPathOps
 from repro.policies.dueling import DuelMap
 from repro.policies.rrip import RripPolicyBase
 from repro.util.counters import FractionTicker, PselCounter
@@ -61,6 +62,21 @@ class DrripPolicy(RripPolicyBase):
         if self._psel.selects_second:  # SRRIP losing -> BRRIP
             return self._brrip_insertion()
         return self.max_rrpv - 1
+
+    # -- fast-path protocol ------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps:
+        """Family RRIP ops plus inline global duel-miss accounting.
+
+        Thread-oblivious duelling: every core shares thread 0's leader
+        roles and the single PSEL.
+        """
+        ops = super().fast_ops()
+        if type(self).on_miss is DrripPolicy.on_miss:
+            ops.miss_inline = True
+            ops.duel_roles = [self._duel.roles_for(0)] * self.num_cores
+            ops.duel_psels = [self._psel] * self.num_cores
+        return ops
 
     @property
     def current_winner(self) -> str:

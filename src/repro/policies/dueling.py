@@ -65,6 +65,15 @@ class DuelMap:
         """Role of *set_idx* for *thread_id*."""
         return self._roles_for(thread_id).get(set_idx, self.FOLLOWER)
 
+    def roles_for(self, thread_id: int) -> dict[int, int]:
+        """The live ``{set_idx: role}`` mapping for *thread_id*.
+
+        Created on first use and never mutated afterwards, so fast-path
+        consumers may bind ``.get`` once per run (missing keys are
+        followers).
+        """
+        return self._roles_for(thread_id)
+
     def leader_sets(self, thread_id: int, policy: int) -> list[int]:
         """All leader sets of *policy* for *thread_id* (testing/analysis)."""
         roles = self._roles_for(thread_id)

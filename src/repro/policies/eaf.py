@@ -20,6 +20,7 @@ for a 16MB cache.
 
 from __future__ import annotations
 
+from repro.policies.base import FastPathOps
 from repro.policies.rrip import RripPolicyBase
 
 
@@ -125,6 +126,27 @@ class EafPolicy(RripPolicyBase):
         fltr.insert(block_addr)
         if fltr.full:
             fltr.clear()
+
+    # -- fast-path protocol ------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps:
+        """``"eaf"`` kind: family RRIP rows plus the live Bloom filter.
+
+        The kernel re-reads ``filter._bits`` on every eviction (``clear``
+        rebinds it) and calls :meth:`BloomFilter.clear` itself when the
+        filter fills, so ``resets``/``inserted`` accounting is identical.
+        """
+        cls = type(self)
+        return FastPathOps(
+            "eaf",
+            self.rrpv,
+            max_code=self.max_rrpv,
+            hit_inline=cls.on_hit is RripPolicyBase.on_hit,
+            victim_inline=cls.victim is RripPolicyBase.victim,
+            fill_inline=cls.on_fill is RripPolicyBase.on_fill,
+            evict_inline=cls.on_evict is EafPolicy.on_evict,
+            eaf_filter=self.filter,
+        )
 
     def distant_fraction(self) -> float:
         total = self.present_predictions + self.distant_predictions

@@ -175,6 +175,15 @@ class DipPolicy(RecencyStackPolicy):
             return self._bip_insertion(is_demand)
         return MRU_INSERT
 
+    def fast_ops(self) -> FastPathOps:
+        """Family stack ops plus inline global duel-miss accounting."""
+        ops = super().fast_ops()
+        if type(self).on_miss is DipPolicy.on_miss:
+            ops.miss_inline = True
+            ops.duel_roles = [self._duel.roles_for(0)] * self.num_cores
+            ops.duel_psels = [self._psel] * self.num_cores
+        return ops
+
     def describe(self) -> str:
         winner = "bip" if self._psel.selects_second else "lru"
         return f"dip(winner={winner})"

@@ -20,6 +20,7 @@ shared cache.
 
 from __future__ import annotations
 
+from repro.policies.base import FastPathOps
 from repro.policies.rrip import RripPolicyBase
 from repro.util.bitops import xor_fold
 
@@ -105,6 +106,36 @@ class ShipPolicy(RripPolicyBase):
             sig = self._line_sig[set_idx][way]
             if self.shct[sig] > 0:
                 self.shct[sig] -= 1
+
+    # -- fast-path protocol ------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps:
+        """``"ship"`` kind: RRPV rows plus signature/outcome/SHCT arrays.
+
+        Each hook is inlined only when it is exactly SHiP's implementation;
+        a subclass that re-overrides one (or the signature fold) drops that
+        hook back to a method call while keeping the rest inline.
+        """
+        cls = type(self)
+        same_sig = cls.signature is ShipPolicy.signature
+        return FastPathOps(
+            "ship",
+            self.rrpv,
+            max_code=self.max_rrpv,
+            hit_inline=cls.on_hit is ShipPolicy.on_hit,
+            victim_inline=cls.victim is RripPolicyBase.victim,
+            fill_inline=cls.on_fill is ShipPolicy.on_fill and same_sig,
+            evict_inline=cls.on_evict is ShipPolicy.on_evict,
+            ship_sigs=self._line_sig,
+            ship_outcomes=self._outcome,
+            shct=self.shct,
+            shct_max=self.shct_max,
+            shct_entries=self.shct_entries,
+            sig_bits=self.signature_bits,
+            sig_salt_shift=(
+                self.signature_bits - 3 if self.thread_aware_signatures else None
+            ),
+        )
 
     def distant_fraction(self) -> float:
         total = self.distant_predictions + self.intermediate_predictions

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.policies.base import FastPathOps
 from repro.policies.dueling import DuelMap
 from repro.policies.rrip import RripPolicyBase
 from repro.util.counters import FractionTicker, PselCounter
@@ -84,6 +85,24 @@ class TaDrripPolicy(RripPolicyBase):
         if self._psel[core_id].selects_second:
             return self._brrip_insertion(core_id)
         return self.max_rrpv - 1
+
+    # -- fast-path protocol ------------------------------------------------
+
+    def fast_ops(self) -> FastPathOps:
+        """Family RRIP ops plus inline per-thread duel-miss accounting.
+
+        ``forced_brrip_cores`` only affects ``decide_insertion`` (still a
+        call), so the PSEL movement stays inline-eligible for the forced
+        variant too.
+        """
+        ops = super().fast_ops()
+        if type(self).on_miss is TaDrripPolicy.on_miss:
+            ops.miss_inline = True
+            ops.duel_roles = [
+                self._duel.roles_for(c) for c in range(self.num_cores)
+            ]
+            ops.duel_psels = list(self._psel)
+        return ops
 
     def describe(self) -> str:
         if not self._psel:

@@ -8,6 +8,14 @@ back in input order regardless of which worker finished first, and every
 job carries its own master seed, so a parallel run is bit-identical to the
 sequential run of the same batch.
 
+Before fanning out, the runner scans the miss batch for trace identities
+needed by two or more jobs (the common shape: one workload swept across
+several policies) and materialises each such trace **once** as a
+content-addressed shared buffer (:mod:`repro.trace.shared`, stored under
+``<store root>/traces/``).  Workers map the buffers zero-copy instead of
+regenerating the streams per process; with no persistent store a
+runner-lifetime temporary directory holds them.
+
 The worker count defaults to the ``REPRO_JOBS`` environment variable and
 falls back to ``os.cpu_count()``; ``jobs=1`` executes inline in the
 calling process (no pool, no pickling), which is also the automatic
@@ -17,11 +25,19 @@ fast path for single-job batches.
 from __future__ import annotations
 
 import os
+import tempfile
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.runner.jobs import SCHEMA_VERSION, Job, job_from_dict
 from repro.runner.store import ResultStore
+from repro.trace.shared import (
+    SharedTraceStore,
+    chunks_for,
+    clear_manifest,
+    install_manifest,
+    shared_traces_enabled,
+)
 
 
 def default_jobs() -> int:
@@ -36,8 +52,29 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _execute_payload(payload: dict) -> dict:
-    """Worker entry point: dict in, dict out — nothing exotic crosses the pipe."""
+def _job_trace_identities(job: Job) -> list[tuple]:
+    """``(benchmark, geometry, core_id, master_seed, n_chunks)`` per core."""
+    from repro.sim.build import geometry_of
+
+    geometry = geometry_of(job.config)
+    n_chunks = chunks_for(job.quota, job.warmup)
+    names = job.benchmarks if job.kind == "workload" else (job.benchmark,)
+    return [
+        (name, geometry, core_id, job.master_seed, n_chunks)
+        for core_id, name in enumerate(names)
+    ]
+
+
+def _execute_payload(task: tuple[dict, list[dict]]) -> dict:
+    """Worker entry point: dict in, dict out — nothing exotic crosses the pipe.
+
+    The shared-trace manifest rides along with every payload; installing
+    it is idempotent (mappings are cached per path), so a worker reusing a
+    process across tasks maps each buffer once.
+    """
+    payload, manifest = task
+    if manifest:
+        install_manifest(manifest)
     return job_from_dict(payload).execute().to_dict()
 
 
@@ -54,6 +91,11 @@ class ParallelRunner:
     use_cache:
         When ``False`` the store is neither read nor written — every job
         is simulated fresh (the ``--no-cache`` CLI behaviour).
+    share_traces:
+        When ``True`` (default), traces needed by two or more miss jobs
+        are materialised once and mapped zero-copy by every executor
+        (also gated by the ``REPRO_NO_SHARED_TRACES`` environment
+        variable).  Results are bit-identical either way.
     """
 
     def __init__(
@@ -61,10 +103,14 @@ class ParallelRunner:
         jobs: int | None = None,
         store: ResultStore | None = None,
         use_cache: bool = True,
+        share_traces: bool = True,
     ) -> None:
         self.jobs = jobs if jobs and jobs > 0 else default_jobs()
         self.store = store
         self.use_cache = use_cache
+        self.share_traces = share_traces
+        self._traces: SharedTraceStore | None = None
+        self._trace_tmpdir: tempfile.TemporaryDirectory | None = None
         #: Lifetime counters: ``store_hits`` results re-read from disk,
         #: ``executed`` simulations actually performed.
         self.stats = {"store_hits": 0, "executed": 0}
@@ -92,16 +138,25 @@ class ParallelRunner:
             else:
                 misses.append((key, job))
 
-        for key, job, result in self._execute(misses):
-            results[key] = result
-            self._save(key, job, result)
+        manifest = self._prepare_traces([job for _, job in misses])
+        if manifest:
+            # Install in this process too: inline execution replays the
+            # same buffers the pool workers map.
+            install_manifest(manifest)
+        try:
+            for key, job, result in self._execute(misses, manifest):
+                results[key] = result
+                self._save(key, job, result)
+        finally:
+            if manifest:
+                clear_manifest()
 
         return [results[key] for key in order]
 
     def run_one(self, job: Job):
         return self.run([job])[0]
 
-    def _execute(self, misses: list[tuple[str, Job]]):
+    def _execute(self, misses: list[tuple[str, Job]], manifest: list[dict]):
         self.stats["executed"] += len(misses)
         if not misses:
             return
@@ -109,11 +164,80 @@ class ParallelRunner:
             for key, job in misses:
                 yield key, job, job.execute()
             return
-        payloads = [job.to_dict() for _, job in misses]
+        payloads = [(job.to_dict(), manifest) for _, job in misses]
         workers = min(self.jobs, len(misses))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for (key, job), data in zip(misses, pool.map(_execute_payload, payloads)):
                 yield key, job, job.result_from_dict(data)
+
+    # -- shared traces -----------------------------------------------------------
+
+    def trace_store(self) -> SharedTraceStore:
+        """The shared-trace buffer store (created on first use).
+
+        Lives under ``<result store root>/traces`` so buffers persist and
+        are reused content-addressed across invocations.  Without a result
+        store — or with ``use_cache=False``, which promises the store is
+        neither read nor written — a runner-lifetime temporary directory
+        backs them instead.
+        """
+        if self._traces is None:
+            if self.store is not None and self.use_cache:
+                root = self.store.root / "traces"
+            else:
+                self._trace_tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-traces-"
+                )
+                root = self._trace_tmpdir.name
+            self._traces = SharedTraceStore(root)
+        return self._traces
+
+    def _prepare_traces(self, jobs: list[Job]) -> list[dict]:
+        """Materialise every trace needed by two or more miss jobs.
+
+        Returns the manifest the executors install; empty when sharing is
+        off, nothing overlaps, or buffer I/O fails (every failure mode
+        falls back to per-process generation, which is always equivalent).
+        """
+        if not self.share_traces or len(jobs) < 2 or not shared_traces_enabled():
+            return []
+        needed: dict[tuple, int] = {}
+        counts: dict[tuple, int] = {}
+        geometries: dict[tuple, object] = {}
+        for job in jobs:
+            for name, geometry, core_id, seed, n_chunks in _job_trace_identities(job):
+                ident = (
+                    name,
+                    geometry.llc_num_sets,
+                    geometry.l2_blocks,
+                    geometry.l1_blocks,
+                    core_id,
+                    seed,
+                )
+                counts[ident] = counts.get(ident, 0) + 1
+                needed[ident] = max(needed.get(ident, 0), n_chunks)
+                geometries[ident] = geometry
+        shared = [ident for ident, n in counts.items() if n >= 2]
+        if not shared:
+            return []
+        from repro.trace.benchmarks import BENCHMARKS
+
+        manifest = []
+        store = self.trace_store()
+        try:
+            for ident in shared:
+                name, _, _, _, core_id, seed = ident
+                spec = BENCHMARKS.get(name)
+                if spec is None:
+                    continue
+                manifest.append(
+                    store.materialise(
+                        spec, geometries[ident], core_id, seed, needed[ident]
+                    )
+                )
+        except OSError:
+            return []
+        return manifest
 
     # -- store plumbing ----------------------------------------------------------
 

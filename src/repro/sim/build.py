@@ -123,11 +123,16 @@ def geometry_of(config: SystemConfig) -> Geometry:
 def build_sources(
     workload: Workload, config: SystemConfig, master_seed: int = 0
 ) -> list[TraceSource]:
-    """One calibrated trace source per core of *workload*."""
-    from repro.trace.benchmarks import BENCHMARKS
+    """One calibrated trace source per core of *workload*.
+
+    Construction goes through :func:`repro.trace.shared.make_source`, so
+    traces materialised by the parallel runner are replayed zero-copy from
+    their shared buffers instead of being regenerated per process.
+    """
+    from repro.trace.shared import make_source
 
     geometry = geometry_of(config)
     return [
-        TraceSource(BENCHMARKS[name], geometry, core_id, master_seed)
+        make_source(name, geometry, core_id, master_seed)
         for core_id, name in enumerate(workload.benchmarks)
     ]

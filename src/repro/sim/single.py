@@ -17,7 +17,8 @@ from repro.cpu.engine import MulticoreEngine
 from repro.sim.build import build_hierarchy, geometry_of, resolve_policy
 from repro.sim.config import SystemConfig
 from repro.sim.results import SingleRunResult
-from repro.trace.benchmarks import BENCHMARKS, TraceSource
+from repro.trace.benchmarks import BENCHMARKS
+from repro.trace.shared import make_source
 
 
 def run_alone(
@@ -49,7 +50,7 @@ def run_alone(
         )
         llc_policy = monitored
     hierarchy = build_hierarchy(solo_config, llc_policy)
-    source = TraceSource(spec, geometry_of(solo_config), 0, master_seed)
+    source = make_source(spec, geometry_of(solo_config), 0, master_seed)
     engine = MulticoreEngine(
         hierarchy,
         [source],

@@ -269,7 +269,15 @@ class TraceSource:
 
     # -- chunked generation ---------------------------------------------------------
 
-    def _refill(self) -> None:
+    def _generate_chunk(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Produce the next CHUNK of ``(addrs, pcs, writes)`` arrays.
+
+        Advances the generator/pattern/echo state exactly one chunk; the
+        shared-trace machinery (:mod:`repro.trace.shared`) calls this both
+        to materialise buffers and to fast-forward state past a replayed
+        prefix, so every RNG draw must happen here and none in
+        :meth:`_refill`.
+        """
         n = self.CHUNK
         rng = self._rng
         hot_mask = rng.random(n) < self._hot_fraction
@@ -300,11 +308,15 @@ class TraceSource:
         )
         writes = rng.random(n) < self.spec.write_fraction
         addrs += self.address_offset
+        self.chunks_generated += 1
+        return addrs, pcs, writes
+
+    def _refill(self) -> None:
+        addrs, pcs, writes = self._generate_chunk()
         self._addrs = addrs.tolist()
         self._pcs = pcs.tolist()
         self._writes = writes.tolist()
         self._pos = 0
-        self.chunks_generated += 1
 
     def _apply_echo(self, footprint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Replace a fraction of footprint accesses with short-range reuse.

@@ -1,13 +1,14 @@
 """Golden-master and differential tests for the simulation kernels.
 
-Two independent guarantees, per registered policy:
+Two independent guarantees, per registered policy (and, for one policy per
+inline family, per prefetch-enabled platform):
 
 * **Fixture equivalence** — the default (fast-path) kernel reproduces the
   committed JSON fixtures bit-for-bit: IPC inputs, per-core and per-cache
-  stats, cache-content digests, timing-model counters, interval counts and
-  RNG draw accounting.  Dict-ordering or hash-salt differences between
-  Python versions cannot hide behind this comparison — every value is
-  explicit data.
+  stats, cache-content digests, timing-model counters, prefetch counters,
+  interval counts and RNG draw accounting.  Dict-ordering or hash-salt
+  differences between Python versions cannot hide behind this comparison —
+  every value is explicit data.
 * **Kernel differential** — the fast path and the generic reference loop
   produce identical records when run back to back in this process, so a
   divergence is caught even before fixtures are regenerated.
@@ -40,11 +41,11 @@ from repro.trace.workloads import Workload
 FIXTURES = Path(__file__).parent / "fixtures"
 
 CASES = list(iter_cases())
-CASE_IDS = [case_name(policy, workload) for policy, workload, _ in CASES]
+CASE_IDS = [case_name(policy, workload, platform) for policy, workload, _, platform in CASES]
 
 
-def _load(policy: str, workload: str) -> dict:
-    path = fixture_path(FIXTURES, policy, workload)
+def _load(policy: str, workload: str, platform: str) -> dict:
+    path = fixture_path(FIXTURES, policy, workload, platform)
     assert path.is_file(), (
         f"missing golden fixture {path}; regenerate with "
         f"'repro-experiments golden --regen'"
@@ -56,39 +57,58 @@ def _load(policy: str, workload: str) -> dict:
 class TestFixtureCoverage:
     def test_every_case_has_a_fixture(self):
         missing = [
-            fixture_path(FIXTURES, policy, workload).name
-            for policy, workload, _ in CASES
-            if not fixture_path(FIXTURES, policy, workload).is_file()
+            fixture_path(FIXTURES, policy, workload, platform).name
+            for policy, workload, _, platform in CASES
+            if not fixture_path(FIXTURES, policy, workload, platform).is_file()
         ]
         assert not missing, f"missing fixtures: {missing}"
 
     def test_no_stale_fixtures(self):
         expected = {
-            fixture_path(FIXTURES, policy, workload).name
-            for policy, workload, _ in CASES
+            fixture_path(FIXTURES, policy, workload, platform).name
+            for policy, workload, _, platform in CASES
         }
         actual = {p.name for p in FIXTURES.glob("*.json")}
         assert actual == expected
 
 
-@pytest.mark.parametrize(("policy", "workload", "benchmarks"), CASES, ids=CASE_IDS)
+@pytest.mark.parametrize(
+    ("policy", "workload", "benchmarks", "platform"), CASES, ids=CASE_IDS
+)
 class TestGoldenMaster:
-    def test_fast_kernel_matches_fixture(self, policy, workload, benchmarks):
-        expected = _load(policy, workload)
-        actual = run_case(policy, benchmarks)
+    def test_fast_kernel_matches_fixture(self, policy, workload, benchmarks, platform):
+        expected = _load(policy, workload, platform)
+        actual = run_case(policy, benchmarks, platform=platform)
         problems = compare_records(expected, actual)
         assert not problems, "\n".join(problems)
 
 
 # The differential suite is the fixture check's independent twin: it needs
 # no committed state, so it also protects fixture regeneration itself.
-@pytest.mark.parametrize(("policy", "workload", "benchmarks"), CASES, ids=CASE_IDS)
+@pytest.mark.parametrize(
+    ("policy", "workload", "benchmarks", "platform"), CASES, ids=CASE_IDS
+)
 class TestKernelDifferential:
-    def test_fast_equals_generic(self, policy, workload, benchmarks):
-        fast = run_case(policy, benchmarks)
-        generic = run_case(policy, benchmarks, force_generic=True)
+    def test_fast_equals_generic(self, policy, workload, benchmarks, platform):
+        fast = run_case(policy, benchmarks, platform=platform)
+        generic = run_case(policy, benchmarks, platform=platform, force_generic=True)
         problems = compare_records(fast, generic)
         assert not problems, "\n".join(problems)
+
+
+class _NextAccessOnly:
+    """Duck-typed source exposing only the per-access API (no next_chunk)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def next_access(self):
+        return self._inner.next_access()
+
+    def __getattr__(self, name):
+        if name == "next_chunk":
+            raise AttributeError(name)
+        return getattr(self._inner, name)
 
 
 class TestFastPathDispatch:
@@ -112,10 +132,16 @@ class TestFastPathDispatch:
         _, engine = self._engine()
         assert fastpath.run_fast(engine) is not None
 
-    def test_prefetch_configs_fall_back(self):
-        _, engine = self._engine(l1_next_line_prefetch=True)
-        assert fastpath.run_fast(engine) is None
-        _, engine = self._engine(l2_stride_prefetch=True)
+    def test_prefetch_configs_are_fast_eligible(self):
+        hierarchy, engine = self._engine(l1_next_line_prefetch=True)
+        assert fastpath.run_fast(engine) is not None
+        assert hierarchy.prefetches_issued > 0
+        hierarchy, engine = self._engine(l2_stride_prefetch=True)
+        assert fastpath.run_fast(engine) is not None
+
+    def test_duck_typed_sources_fall_back(self):
+        _, engine = self._engine()
+        engine.sources = [_NextAccessOnly(s) for s in engine.sources]
         assert fastpath.run_fast(engine) is None
         # ... and engine.run still completes on the generic loop.
         snaps = engine.run()
@@ -139,17 +165,88 @@ class TestFastPathDispatch:
             True,
             True,
         )
-        ship = make_policy("ship")
-        ship.bind(16, 4, 1)
-        ops = ship.fast_ops()
-        # SHiP overrides on_hit/on_fill (training) but keeps the family victim.
-        assert (ops.hit_inline, ops.victim_inline, ops.fill_inline) == (
-            False,
-            True,
-            False,
-        )
         stack = make_policy("lru")
         stack.bind(16, 4, 1)
         assert stack.fast_ops().kind == "stack"
         # Wrappers opt out entirely: every hook stays a delegated call.
         assert make_policy("tadrrip+bp").fast_ops() is None
+
+
+class TestNativeFastOps:
+    """SHiP/EAF/ADAPT family hooks and duelling on_miss run inline, not
+    through ``_CALL``-mode method dispatch (the PR 3 coverage criterion)."""
+
+    @staticmethod
+    def _bound(name, **kwargs):
+        from repro.policies.registry import make_policy
+
+        policy = make_policy(name, **kwargs)
+        policy.bind(64, 4, 2)
+        return policy
+
+    def test_ship_kind_inlines_training(self):
+        ops = self._bound("ship").fast_ops()
+        assert ops.kind == "ship"
+        assert (ops.hit_inline, ops.victim_inline, ops.fill_inline) == (
+            True,
+            True,
+            True,
+        )
+        assert ops.evict_inline
+        assert ops.ship_sigs is not None and ops.ship_outcomes is not None
+        assert ops.shct is not None and ops.shct_entries > 0
+        # Plain SHiP salts nothing; the thread-aware ablation variant does.
+        assert ops.sig_salt_shift is None
+        salted = self._bound("ship", thread_aware_signatures=True).fast_ops()
+        assert salted.sig_salt_shift == salted.sig_bits - 3
+
+    def test_eaf_kind_inlines_filter_updates(self):
+        ops = self._bound("eaf").fast_ops()
+        assert ops.kind == "eaf"
+        assert (ops.hit_inline, ops.victim_inline, ops.fill_inline) == (
+            True,
+            True,
+            True,
+        )
+        assert ops.evict_inline
+        assert ops.eaf_filter is not None
+
+    def test_adapt_kind_inlines_monitor_tap(self):
+        for name in ("adapt_bp32", "adapt_ins"):
+            ops = self._bound(name).fast_ops()
+            assert ops.kind == "adapt"
+            assert (ops.hit_inline, ops.victim_inline, ops.fill_inline) == (
+                True,
+                True,
+                True,
+            )
+            assert ops.samplers is not None and len(ops.samplers) == 2
+
+    def test_duelling_policies_inline_on_miss(self):
+        for name in ("tadrrip", "drrip", "dip"):
+            ops = self._bound(name).fast_ops()
+            assert ops.miss_inline, name
+            assert len(ops.duel_roles) == 2 and len(ops.duel_psels) == 2
+        # Thread-aware duelling keeps per-thread PSELs; global duelling
+        # shares one counter across cores.
+        ta = self._bound("tadrrip").fast_ops()
+        assert ta.duel_psels[0] is not ta.duel_psels[1]
+        glob = self._bound("drrip").fast_ops()
+        assert glob.duel_psels[0] is glob.duel_psels[1]
+
+    def test_forced_brrip_variant_stays_inline(self):
+        ops = self._bound("tadrrip", forced_brrip_cores=(0,)).fast_ops()
+        assert ops.miss_inline
+
+    def test_subclassed_hooks_fall_back_to_calls(self):
+        from repro.policies.ship import ShipPolicy
+
+        class CustomShip(ShipPolicy):
+            def on_hit(self, set_idx, way, core_id, is_demand, block_addr=-1):
+                super().on_hit(set_idx, way, core_id, is_demand, block_addr)
+
+        custom = CustomShip()
+        custom.bind(64, 4, 2)
+        ops = custom.fast_ops()
+        assert not ops.hit_inline  # overridden hook goes back to a call
+        assert ops.fill_inline and ops.evict_inline  # the rest stay inline
