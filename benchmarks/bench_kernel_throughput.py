@@ -26,13 +26,19 @@ reference loop):
 * ``ship_llc`` — the four-core mix under SHiP, exercising the native
   ``"ship"`` fast-op kind (inline signature/outcome/SHCT training that
   previously dispatched through ``_CALL``-mode hooks).
+* ``llc_sweep`` — an eight-policy sweep over one four-core low-intensity
+  mix: the experiment shape the LLC-filtered replay engine
+  (:mod:`repro.cpu.replay`) targets.  Unlike the per-kernel scenarios it
+  compares *pipelines*: one capture pass plus eight replays against eight
+  fused runs, i.e. exactly what ``ParallelRunner`` schedules for an
+  s-curve point.
 
 Each scenario records fast and generic accesses/second plus their ratio in
 ``extra_info``; the ``test_kernel_speedup_recorded`` summary asserts the
 bit-identical kernels actually diverge in speed (fast strictly faster
 everywhere, with conservative per-scenario gates — measured locally at
 ~3.3x hot-loop / ~2.7x single-app / ~2.2x multicore / ~3.2x l1-prefetch /
-~2.6x l2-prefetch / ~2.0x ship).
+~2.6x l2-prefetch / ~2.0x ship / ~3.6x llc-sweep).
 """
 
 from __future__ import annotations
@@ -40,7 +46,9 @@ from __future__ import annotations
 import time
 from dataclasses import replace
 
+from repro.cpu.capture import capture_workload
 from repro.cpu.engine import MulticoreEngine
+from repro.cpu.replay import run_replay
 from repro.experiments.common import scale_factor
 from repro.sim.build import build_hierarchy, build_sources
 from repro.sim.config import SystemConfig
@@ -161,6 +169,88 @@ def test_kernel_ship_llc_throughput(benchmark):
     assert info["kernel_speedup"] > 1.0
 
 
+# -- the replay-engine sweep scenario -----------------------------------------
+
+#: The swept policies: every inline family once, at paper duelling sizes.
+SWEEP_POLICIES = ("lru", "srrip", "brrip", "drrip", "tadrrip", "ship", "eaf", "dip")
+
+#: A four-core low-intensity mix (VL/L classes): the private levels absorb
+#: most traffic, which is the share the capture pass amortises across the
+#: sweep.  Thrash-heavy mixes keep the LLC busy in both pipelines and gain
+#: correspondingly less — this scenario pins the intended sweep shape.
+SWEEP_MIX = ("gcc", "calc", "craf", "deal")
+
+
+def _sweep_setup():
+    # Like ``hot_loop``, the budget is pinned: the scenario measures the
+    # steady-state amortisation of one capture across eight replays, and
+    # scaling it down would just re-weight the capture's one-off
+    # source-construction cost that the sweep shape amortises away.
+    quota = BASE_QUOTA // 2
+    warmup = quota // 4
+    config = SystemConfig.scaled(16).with_cores(len(SWEEP_MIX))
+    workload = Workload("llc_sweep", SWEEP_MIX)
+    return config, workload, quota, warmup
+
+
+def _measure_llc_sweep() -> dict[str, float]:
+    """Time eight fused runs against one capture plus eight replays."""
+    config, workload, quota, warmup = _sweep_setup()
+
+    def engine_for(policy):
+        hierarchy = build_hierarchy(config, policy)
+        sources = build_sources(workload, config)
+        return MulticoreEngine(
+            hierarchy, sources, quota_per_core=quota, warmup_accesses=warmup
+        )
+
+    start = time.perf_counter()
+    accesses = 0
+    fused_snapshots = []
+    for policy in SWEEP_POLICIES:
+        engine = engine_for(policy)
+        fused_snapshots.append(engine.run())
+        accesses += sum(core.accesses for core in engine.cores)
+    fused_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bundle = capture_workload(workload.benchmarks, config, quota, warmup, 0)
+    replay_snapshots = []
+    for policy in SWEEP_POLICIES:
+        replay_snapshots.append(run_replay(engine_for(policy), bundle, finalize=False))
+    replay_elapsed = time.perf_counter() - start
+    assert replay_snapshots == fused_snapshots, "replay diverged from fused"
+
+    return {
+        "accesses_per_second_fast": accesses / replay_elapsed,
+        "accesses_per_second_generic": accesses / fused_elapsed,
+        "kernel_speedup": fused_elapsed / replay_elapsed,
+        "accesses": accesses,
+        "policies": len(SWEEP_POLICIES),
+    }
+
+
+def _measure_llc_sweep_recording() -> dict[str, float]:
+    """One sweep measurement, folded into the best-of-rounds summary.
+
+    Like the other scenarios' min-elapsed timing, the gate reads the best
+    round — ``benchmark.pedantic`` only returns the final one.
+    """
+    info = _measure_llc_sweep()
+    best = _SPEEDUPS.get("llc_sweep")
+    if best is None or info["kernel_speedup"] > best["kernel_speedup"]:
+        _SPEEDUPS["llc_sweep"] = info
+    return info
+
+
+def test_kernel_llc_sweep_throughput(benchmark):
+    """Capture + N-policy replay vs N fused runs (the ParallelRunner shape)."""
+    benchmark.pedantic(_measure_llc_sweep_recording, rounds=3, iterations=1)
+    info = _SPEEDUPS["llc_sweep"]
+    benchmark.extra_info.update(info)
+    assert info["kernel_speedup"] > 1.0
+
+
 def _ensure_scenario(name: str) -> None:
     """Measure *name* directly if its benchmark test was deselected.
 
@@ -168,19 +258,25 @@ def _ensure_scenario(name: str) -> None:
     ordering (``-k``, ``pytest-xdist``) at the cost of re-timing without
     pytest-benchmark statistics.
     """
-    if name not in _SPEEDUPS:
-        fast = _accesses_per_second(name, force_generic=False)
-        generic = _accesses_per_second(name, force_generic=True)
-        _SPEEDUPS[name] = {
-            "accesses_per_second_fast": fast,
-            "accesses_per_second_generic": generic,
-            "kernel_speedup": fast / generic,
-        }
+    if name in _SPEEDUPS:
+        return
+    if name == "llc_sweep":
+        _SPEEDUPS[name] = _measure_llc_sweep()
+        return
+    fast = _accesses_per_second(name, force_generic=False)
+    generic = _accesses_per_second(name, force_generic=True)
+    _SPEEDUPS[name] = {
+        "accesses_per_second_fast": fast,
+        "accesses_per_second_generic": generic,
+        "kernel_speedup": fast / generic,
+    }
 
 
 #: Conservative per-scenario CI gates (local measurements run well above
 #: these): the hot loop isolates pure kernel overhead and must stay >= 2x,
-#: and the two prefetch shapes must hold the PR 3 acceptance floor of 2x.
+#: the two prefetch shapes must hold the PR 3 acceptance floor of 2x, and
+#: the replay-engine sweep must hold its acceptance floor of 3x end to end
+#: (one capture amortised across eight policies; measured ~3.6x locally).
 SPEEDUP_GATES = {
     "hot_loop": 2.0,
     "single_app": 1.5,
@@ -188,6 +284,7 @@ SPEEDUP_GATES = {
     "l1_prefetch": 2.0,
     "l2_prefetch": 2.0,
     "ship_llc": 1.5,
+    "llc_sweep": 3.0,
 }
 
 

@@ -1,0 +1,783 @@
+"""Capture pass for the LLC-filtered replay engine.
+
+Because the hierarchy is non-inclusive, each core's private-cache contents
+— and therefore its sequence of LLC-bound demand misses, L2 write-backs
+and prefetcher issues — depend only on that core's fixed address stream,
+never on the LLC policy or on timing; only the *timestamps* of those
+events vary between policies.  A policy sweep therefore re-simulates the
+identical L1/L2 behaviour once per swept policy for nothing.
+
+This module runs the private levels (L1 LRU, L2 DRRIP, both prefetcher
+shapes) **once** per distinct ``(trace identity, geometry, private-level
+config)`` and records, per core:
+
+* a **step stream** — one byte per access classifying its private-time
+  cost: L1 hit (``STEP_HIT``), L1-miss/L2-hit (``STEP_L2HIT``) or
+  L2 miss reaching the LLC (``STEP_LLC``).  The replay kernel
+  (:mod:`repro.cpu.replay`) re-executes exactly the fused kernel's
+  floating-point clock recurrence over this stream, so reconstructed
+  timestamps are bit-for-bit identical;
+* an **event stream** — the ordered LLC-bound interactions each access
+  performs (L2→LLC write-backs at their two fixed time offsets, non-demand
+  prefetch fetches, the demand fetch itself) plus the engine's
+  warm-up-baseline and quota-completion markers, which must be replayed in
+  global ``(time, core)`` order because they read live LLC statistics;
+* **private-state checkpoints** — JSON-safe snapshots of the L1/L2
+  contents, replacement state, stats, and prefetcher tables every
+  ``checkpoint_every`` accesses (and always at the stream end), from which
+  the replay finaliser reconstructs the exact private-level end state at
+  the run's policy-dependent stop point with a bounded re-simulation.
+
+Every content operation mirrors :mod:`repro.cpu.fastpath` statement for
+statement, which the golden differential suite machine-checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.prefetch import StrideEntry
+from repro.cpu.fastpath import _decode_chunk, _residency
+from repro.policies.drrip import DrripPolicy
+from repro.policies.lru import LruPolicy
+from repro.trace.benchmarks import TraceSource
+
+#: Step-stream codes: the access's private-time cost class.
+STEP_HIT, STEP_L2HIT, STEP_LLC = 0, 1, 2
+
+#: Event-stream kinds, in the exact order the fused kernel performs them.
+#: ``EV_WB0``/``EV_WB1`` are L2→LLC write-backs arriving at ``t`` (dirty L1
+#: victim path) and ``t + l1_latency`` (demand/prefetch L2-fill path);
+#: ``EV_ND`` is a non-demand (prefetch) LLC fetch, ``EV_DEMAND`` the demand
+#: fetch whose completion time feeds the core's clock.  ``EV_BASELINE`` and
+#: ``EV_SNAPSHOT`` mark the engine's warm-up and quota-completion points.
+EV_WB0, EV_WB1, EV_ND, EV_DEMAND, EV_BASELINE, EV_SNAPSHOT = 0, 1, 2, 3, 4, 5
+
+#: One record per LLC-bound event; ``step`` is the 0-based access index.
+EVENT_DTYPE = np.dtype([("step", "<u8"), ("kind", "u1"), ("addr", "<i8"), ("pc", "<i8")])
+
+#: Capture artifact layout version (part of every content address).
+CAPTURE_FORMAT = 1
+
+#: Target number of private-state checkpoints per stream (the replay
+#: finaliser re-simulates at most one inter-checkpoint span per core, so
+#: denser checkpoints trade a little capture memory for faster finalised
+#: replays).
+_TARGET_CHECKPOINTS = 24
+
+
+class CoreTape:
+    """One core's captured stream: steps, events, checkpoints, markers."""
+
+    __slots__ = (
+        "steps",
+        "ev_step",
+        "ev_kind",
+        "ev_addr",
+        "ev_pc",
+        "checkpoints",
+        "baseline",
+        "finish",
+        "length",
+        "live_sim",
+    )
+
+    def __init__(self) -> None:
+        self.steps = bytearray()
+        self.ev_step: list[int] = []
+        self.ev_kind: list[int] = []
+        self.ev_addr: list[int] = []
+        self.ev_pc: list[int] = []
+        self.checkpoints: list[dict] = []
+        self.baseline: dict | None = None
+        self.finish: dict | None = None
+        self.length = 0
+        #: Scratch continuation simulator, attached lazily by the replay
+        #: kernel when a run outlives the captured stream.
+        self.live_sim: PrivateCoreSim | None = None
+
+    def events_array(self) -> np.ndarray:
+        out = np.empty(len(self.ev_step), dtype=EVENT_DTYPE)
+        out["step"] = self.ev_step
+        out["kind"] = self.ev_kind
+        out["addr"] = self.ev_addr
+        out["pc"] = self.ev_pc
+        return out
+
+    def steps_array(self) -> np.ndarray:
+        return np.frombuffer(bytes(self.steps), dtype=np.uint8)
+
+
+class CaptureBundle:
+    """A full platform capture: one :class:`CoreTape` per core plus meta."""
+
+    __slots__ = ("meta", "tapes")
+
+    def __init__(self, meta: dict, tapes: list[CoreTape]) -> None:
+        self.meta = meta
+        self.tapes = tapes
+
+
+class PrivateCoreSim:
+    """Private-level content simulator for one core.
+
+    Mirrors the fused kernel's L1/L2/prefetcher behaviour exactly (same
+    state objects, same mutation order); used three ways:
+
+    * **capture** — ``run(n, record=True)`` appends step codes and LLC
+      events to a :class:`CoreTape`;
+    * **live continuation** — the replay kernel resumes a tape-end
+      checkpoint on scratch objects and keeps recording when a run
+      outlives the captured stream;
+    * **reconstruction** — the replay finaliser resumes the engine's *own*
+      cache/prefetcher/source objects from a checkpoint and re-simulates
+      (``record=False``) up to the exact access index where the fused
+      kernel would have stopped.
+    """
+
+    __slots__ = (
+        "l1",
+        "l2",
+        "prefetcher",
+        "l1_next_line",
+        "source",
+        "instructions_per_access",
+        "count",
+        "instr",
+        "pf_issued",
+        "tape",
+        "_lookup1",
+        "_valid1",
+        "_lookup2",
+        "_valid2",
+        "_psel_val",
+        "_tick_cnt",
+        "_buf",
+        "_pos",
+        "_len",
+    )
+
+    def __init__(
+        self,
+        l1,
+        l2,
+        prefetcher,
+        l1_next_line: bool,
+        source,
+        tape: CoreTape | None = None,
+    ) -> None:
+        if type(l1.policy) is not LruPolicy:
+            raise ValueError("capture requires a plain-LRU L1")
+        if type(l2.policy) is not DrripPolicy:
+            raise ValueError("capture requires a plain-DRRIP L2")
+        self.l1 = l1
+        self.l2 = l2
+        self.prefetcher = prefetcher
+        self.l1_next_line = l1_next_line
+        self.source = source
+        self.instructions_per_access = source.instructions_per_access
+        self.count = 0
+        self.instr = 0.0
+        self.pf_issued = 0
+        self.tape = tape
+        self._lookup1, self._valid1 = _residency(l1)
+        self._lookup2, self._valid2 = _residency(l2)
+        self._psel_val = l2.policy._psel.value
+        self._tick_cnt = l2.policy._ticker._count
+        self._buf = None
+        self._pos = 0
+        self._len = 0
+
+    # -- state transfer ------------------------------------------------------
+
+    def sync(self) -> None:
+        """Write localized scalar state back to the policy objects."""
+        self.l2.policy._psel.value = self._psel_val
+        self.l2.policy._ticker._count = self._tick_cnt
+
+    def snapshot_state(self) -> dict:
+        """JSON-safe checkpoint of the full private-level state."""
+        self.sync()
+        l1, l2 = self.l1, self.l2
+        pf = self.prefetcher
+        state = {
+            "index": self.count,
+            "instr": self.instr,
+            "pf_issued": self.pf_issued,
+            "l1": {
+                "addrs": [row[:] for row in l1.addrs],
+                "dirty": [row[:] for row in l1.dirty],
+                "reused": [row[:] for row in l1.reused],
+                "occupancy": list(l1.occupancy),
+                "stats": l1.stats.snapshot(),
+                "stamp": [row[:] for row in l1.policy._stamp],
+                "next_mru": list(l1.policy._next_mru),
+                "next_lru": list(l1.policy._next_lru),
+            },
+            "l2": {
+                "addrs": [row[:] for row in l2.addrs],
+                "dirty": [row[:] for row in l2.dirty],
+                "reused": [row[:] for row in l2.reused],
+                "occupancy": list(l2.occupancy),
+                "stats": l2.stats.snapshot(),
+                "rrpv": [row[:] for row in l2.policy.rrpv],
+                "psel_value": l2.policy._psel.value,
+                "ticker_count": l2.policy._ticker._count,
+            },
+            "pf": None,
+        }
+        if pf is not None:
+            state["pf"] = {
+                "table": [
+                    [pc, e.last_addr, e.stride, e.confidence]
+                    for pc, e in pf._table.items()
+                ],
+                "trained": pf.trained,
+                "issued": pf.issued,
+            }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Load a checkpoint into the held objects (deep copies)."""
+        l1, l2 = self.l1, self.l2
+        c1, c2 = state["l1"], state["l2"]
+        for target, rows in (
+            (l1.addrs, c1["addrs"]),
+            (l1.dirty, c1["dirty"]),
+            (l1.reused, c1["reused"]),
+            (l1.policy._stamp, c1["stamp"]),
+            (l2.addrs, c2["addrs"]),
+            (l2.dirty, c2["dirty"]),
+            (l2.reused, c2["reused"]),
+            (l2.policy.rrpv, c2["rrpv"]),
+        ):
+            for row, src in zip(target, rows):
+                row[:] = src
+        l1.occupancy[:] = c1["occupancy"]
+        l2.occupancy[:] = c2["occupancy"]
+        l1.policy._next_mru[:] = c1["next_mru"]
+        l1.policy._next_lru[:] = c1["next_lru"]
+        for stats, snap in ((l1.stats, c1["stats"]), (l2.stats, c2["stats"])):
+            for field, values in snap.items():
+                getattr(stats, field)[:] = values
+        l2.policy._psel.value = c2["psel_value"]
+        l2.policy._ticker._count = c2["ticker_count"]
+        pf = self.prefetcher
+        if pf is not None and state["pf"] is not None:
+            pf._table.clear()
+            for pc, last, stride, conf in state["pf"]["table"]:
+                entry = StrideEntry(last)
+                entry.stride = stride
+                entry.confidence = conf
+                pf._table[pc] = entry
+            pf.trained = state["pf"]["trained"]
+            pf.issued = state["pf"]["issued"]
+        self.count = state["index"]
+        self.instr = state["instr"]
+        self.pf_issued = state["pf_issued"]
+        self._lookup1, self._valid1 = _residency(l1)
+        self._lookup2, self._valid2 = _residency(l2)
+        self._psel_val = l2.policy._psel.value
+        self._tick_cnt = l2.policy._ticker._count
+
+    # -- the private-level loop ---------------------------------------------
+
+    def run(self, n: int, record: bool = True) -> None:
+        """Process the next *n* accesses, mirroring the fused kernel.
+
+        With ``record``, step codes and LLC-bound events are appended to
+        the tape; without, only the private state advances (the
+        reconstruction mode).
+        """
+        if n <= 0:
+            return
+        l1, l2 = self.l1, self.l2
+        source = self.source
+        mask1 = l1.set_mask
+        lookup1, valid1 = self._lookup1, self._valid1
+        get1 = lookup1.get
+        rows1 = l1.addrs
+        dirty1 = l1.dirty
+        reused1 = l1.reused
+        occ1 = l1.occupancy
+        st1 = l1.stats
+        dh1, dm1, om1 = st1.demand_hits, st1.demand_misses, st1.other_misses
+        ev1, dev1, fl1 = st1.evictions, st1.dirty_evictions, st1.fills
+        stamp1 = l1.policy._stamp
+        nmru1 = l1.policy._next_mru
+
+        mask2 = l2.set_mask
+        ways2 = l2.ways
+        lookup2, valid2 = self._lookup2, self._valid2
+        l2_get = lookup2.get
+        rows2 = l2.addrs
+        dirty2 = l2.dirty
+        reused2 = l2.reused
+        occ2 = l2.occupancy
+        st2 = l2.stats
+        dh2, dm2 = st2.demand_hits, st2.demand_misses
+        oh2, om2 = st2.other_hits, st2.other_misses
+        wba2 = st2.writeback_arrivals
+        ev2, dev2, fl2 = st2.evictions, st2.dirty_evictions, st2.fills
+        pol2 = l2.policy
+        rrpv2 = pol2.rrpv
+        maxr2 = pol2.max_rrpv
+        psel_val = self._psel_val
+        psel_max = pol2._psel.max_value
+        psel_thr = pol2._psel.threshold
+        tick_cnt = self._tick_cnt
+        tick_phase = pol2._ticker._phase
+        tick_den = pol2._ticker.denominator
+        roles_get = pol2._duel.roles_for(0).get
+
+        pf2 = self.prefetcher
+        pf2_train = pf2.train if pf2 is not None else None
+        l1_pf = self.l1_next_line
+        pf_issued = self.pf_issued
+
+        tape = self.tape
+        if record:
+            steps_append = tape.steps.append
+            evs_append = tape.ev_step.append
+            evk_append = tape.ev_kind.append
+            eva_append = tape.ev_addr.append
+            evp_append = tape.ev_pc.append
+        count = self.count
+        instr = self.instr
+        ipa = self.instructions_per_access
+
+        def l2_fill(addr, s, insertion, dirty):
+            """Mirror of the fused kernel's ``l2_fill``."""
+            victim_addr = -1
+            victim_dirty = False
+            row = rows2[s]
+            if valid2[s] < ways2:
+                way = row.index(-1)
+                valid2[s] += 1
+            else:
+                rrow = rrpv2[s]
+                current_max = max(rrow)
+                if current_max < maxr2:
+                    delta = maxr2 - current_max
+                    rrow[:] = [v + delta for v in rrow]
+                way = rrow.index(maxr2)
+                victim_addr = row[way]
+                victim_dirty = dirty2[s][way]
+                ev2[0] += 1
+                if victim_dirty:
+                    dev2[0] += 1
+                occ2[0] -= 1
+                del lookup2[victim_addr]
+            row[way] = addr
+            lookup2[addr] = way
+            dirty2[s][way] = dirty
+            reused2[s][way] = False
+            occ2[0] += 1
+            fl2[0] += 1
+            rrpv2[s][way] = insertion
+            return victim_addr, victim_dirty
+
+        def l1_victim_to_l2(addr):
+            """Dirty L1 victim → private L2; may emit a WB0 event."""
+            s = addr & mask2
+            way = l2_get(addr, -1)
+            wba2[0] += 1
+            if way >= 0:
+                oh2[0] += 1
+                dirty2[s][way] = True
+                return
+            om2[0] += 1
+            victim_addr, victim_dirty = l2_fill(addr, s, maxr2, True)
+            if victim_dirty and record:
+                evs_append(count)
+                evk_append(EV_WB0)
+                eva_append(victim_addr)
+                evp_append(0)
+
+        def fetch_nondemand(addr, pc):
+            """Prefetch fill below L1; may emit WB1 + ND events."""
+            nonlocal pf_issued
+            s = addr & mask2
+            way = l2_get(addr, -1)
+            if way >= 0:
+                oh2[0] += 1
+                return
+            om2[0] += 1
+            victim_addr, victim_dirty = l2_fill(addr, s, maxr2, False)
+            if record:
+                if victim_dirty:
+                    evs_append(count)
+                    evk_append(EV_WB1)
+                    eva_append(victim_addr)
+                    evp_append(0)
+                evs_append(count)
+                evk_append(EV_ND)
+                eva_append(addr)
+                evp_append(pc)
+
+        buf = self._buf
+        pos = self._pos
+        length = self._len
+        remaining = n
+        while remaining:
+            if pos >= length:
+                if buf is not None:
+                    source.commit(pos)
+                # With no buffer yet (fresh or restored sim) the source's
+                # own position is authoritative — committing the local one
+                # would rewind a state-advanced source.
+                buf = _decode_chunk(source, mask1)
+                pos = buf[4]
+                length = len(buf[0])
+            buf_a, buf_s, buf_p, buf_w = buf[0], buf[1], buf[2], buf[3]
+            take = length - pos
+            if take > remaining:
+                take = remaining
+            remaining -= take
+            for _ in range(take):
+                addr = buf_a[pos]
+                way = get1(addr, -1)
+                if way >= 0:
+                    dh1[0] += 1
+                    s = buf_s[pos]
+                    reused1[s][way] = True
+                    if buf_w[pos]:
+                        dirty1[s][way] = True
+                    stamp = nmru1[s]
+                    stamp1[s][way] = stamp
+                    nmru1[s] = stamp + 1
+                    if record:
+                        steps_append(STEP_HIT)
+                else:
+                    s = buf_s[pos]
+                    pc = buf_p[pos]
+                    is_write = buf_w[pos]
+                    dm1[0] += 1
+                    victim_addr = -1
+                    victim_dirty = False
+                    row = rows1[s]
+                    if valid1[s] < len(row):
+                        way = row.index(-1)
+                        valid1[s] += 1
+                    else:
+                        srow = stamp1[s]
+                        way = srow.index(min(srow))
+                        victim_addr = row[way]
+                        victim_dirty = dirty1[s][way]
+                        ev1[0] += 1
+                        if victim_dirty:
+                            dev1[0] += 1
+                        occ1[0] -= 1
+                        del lookup1[victim_addr]
+                    row[way] = addr
+                    lookup1[addr] = way
+                    dirty1[s][way] = is_write
+                    reused1[s][way] = False
+                    occ1[0] += 1
+                    fl1[0] += 1
+                    stamp = nmru1[s]
+                    stamp1[s][way] = stamp
+                    nmru1[s] = stamp + 1
+                    if victim_dirty:
+                        l1_victim_to_l2(victim_addr)
+
+                    # fetch_below: the demand path into the L2.
+                    s = addr & mask2
+                    way = l2_get(addr, -1)
+                    if way >= 0:
+                        dh2[0] += 1
+                        reused2[s][way] = True
+                        rrpv2[s][way] = 0  # demand-hit promotion
+                        if record:
+                            steps_append(STEP_L2HIT)
+                    else:
+                        dm2[0] += 1
+                        # DRRIP on_miss + decide_insertion (demand).
+                        leader = roles_get(s, -1)
+                        if leader == 0:  # SRRIP leader missed
+                            value = psel_val + 1
+                            psel_val = value if value <= psel_max else psel_max
+                        elif leader == 1:  # BRRIP leader missed
+                            value = psel_val - 1
+                            psel_val = value if value >= 0 else 0
+                        if leader == 0:
+                            insertion = maxr2 - 1
+                        elif leader == 1 or psel_val >= psel_thr:
+                            fired = tick_cnt == tick_phase
+                            tick_cnt += 1
+                            if tick_cnt == tick_den:
+                                tick_cnt = 0
+                            insertion = maxr2 - 1 if fired else maxr2
+                        else:
+                            insertion = maxr2 - 1
+                        victim_addr, victim_dirty = l2_fill(addr, s, insertion, False)
+                        if victim_dirty and record:
+                            evs_append(count)
+                            evk_append(EV_WB1)
+                            eva_append(victim_addr)
+                            evp_append(0)
+                        if pf2_train is not None:
+                            for pfa in pf2_train(pc, addr):
+                                if pfa >= 0 and pfa not in lookup2:
+                                    pf_issued += 1
+                                    fetch_nondemand(pfa, pc)
+                        if record:
+                            evs_append(count)
+                            evk_append(EV_DEMAND)
+                            eva_append(addr)
+                            evp_append(pc)
+                            steps_append(STEP_LLC)
+
+                    if l1_pf:
+                        pfa = addr + 1
+                        if pfa not in lookup1:
+                            pf_issued += 1
+                            om1[0] += 1
+                            victim_addr = -1
+                            victim_dirty = False
+                            s = pfa & mask1
+                            row = rows1[s]
+                            if valid1[s] < len(row):
+                                way = row.index(-1)
+                                valid1[s] += 1
+                            else:
+                                srow = stamp1[s]
+                                way = srow.index(min(srow))
+                                victim_addr = row[way]
+                                victim_dirty = dirty1[s][way]
+                                ev1[0] += 1
+                                if victim_dirty:
+                                    dev1[0] += 1
+                                occ1[0] -= 1
+                                del lookup1[victim_addr]
+                            row[way] = pfa
+                            lookup1[pfa] = way
+                            dirty1[s][way] = False
+                            reused1[s][way] = False
+                            occ1[0] += 1
+                            fl1[0] += 1
+                            stamp = nmru1[s]
+                            stamp1[s][way] = stamp
+                            nmru1[s] = stamp + 1
+                            if victim_dirty:
+                                l1_victim_to_l2(victim_addr)
+                            fetch_nondemand(pfa, buf_p[pos])
+                pos += 1
+                count += 1
+                instr += ipa
+
+        source.commit(pos)
+        self._buf = buf
+        self._pos = pos
+        self._len = length
+        self.count = count
+        self.instr = instr
+        self.pf_issued = pf_issued
+        self._psel_val = psel_val
+        self._tick_cnt = tick_cnt
+        self.sync()
+        if record:
+            tape.length = count
+
+
+# -- capture drivers -----------------------------------------------------------
+
+
+def replay_slack() -> float:
+    """Captured-stream over-provisioning beyond the quota-completion index.
+
+    Cores that finish early keep running until the slowest core completes,
+    so each stream is captured ``1 + slack`` times the per-core access
+    budget; a replay that outruns a stream switches to live private-level
+    continuation (bit-identical, and the extension is appended to the
+    bundle so later replays of the same bundle reuse it).  Typical mixes
+    overrun by a few percent, so the default stays lean;
+    ``REPRO_REPLAY_SLACK`` tunes it.
+    """
+    import os
+
+    try:
+        value = float(os.environ.get("REPRO_REPLAY_SLACK", "0.25"))
+    except ValueError:
+        value = 0.25
+    return max(0.0, value)
+
+
+def _fresh_private_level(meta: dict, core_id: int):
+    """One core's private caches + prefetcher, exactly as the builder wires them."""
+    from repro.cache.cache import SetAssociativeCache
+    from repro.cache.prefetch import StridePrefetcher
+
+    l1 = SetAssociativeCache(
+        f"l1d-{core_id}", meta["l1_sets"], meta["l1_ways"], LruPolicy(), num_cores=1
+    )
+    l2 = SetAssociativeCache(
+        f"l2-{core_id}", meta["l2_sets"], meta["l2_ways"], DrripPolicy(), num_cores=1
+    )
+    prefetcher = (
+        StridePrefetcher(degree=meta["l2_prefetch_degree"])
+        if meta["l2_stride_prefetch"]
+        else None
+    )
+    return l1, l2, prefetcher
+
+
+def _meta_geometry(meta: dict):
+    from repro.trace.benchmarks import Geometry
+
+    return Geometry(
+        llc_num_sets=meta["llc_sets"],
+        l2_blocks=meta["l2_sets"] * meta["l2_ways"],
+        l1_blocks=meta["l1_sets"] * meta["l1_ways"],
+    )
+
+
+def advance_source(source, n: int) -> None:
+    """State-only advance of *source* past *n* accesses.
+
+    Replicates the kernels' chunked consumption pattern exactly (refills at
+    the same boundaries, same commit positions), so the source's generator
+    state, chunk count and read position match a simulated run of length
+    ``n`` bit-for-bit.
+    """
+    consumed = 0
+    while consumed < n:
+        _addrs, _pcs, _writes, pos = source.next_chunk()
+        length = len(_addrs)
+        take = length - pos
+        if take > n - consumed:
+            take = n - consumed
+        source.commit(pos + take)
+        consumed += take
+
+
+def capture_workload(
+    benchmarks: tuple[str, ...],
+    config,
+    quota: int,
+    warmup: int,
+    master_seed: int = 0,
+    slack: float | None = None,
+) -> CaptureBundle:
+    """Capture the private-level streams of one (workload, platform, seed).
+
+    Builds fresh sources and private levels (independent of any engine),
+    simulates each core ``(quota + warmup) * (1 + slack)`` accesses, and
+    returns the bundle the replay kernel consumes.  Sources go through
+    :func:`repro.trace.shared.make_source`, so shared trace buffers are
+    replayed zero-copy when registered.
+    """
+    from repro.trace.shared import make_source
+
+    if slack is None:
+        slack = replay_slack()
+    finish = quota + warmup
+    n_cap = finish + int(round(slack * finish))
+    interval = max(TraceSource.CHUNK, -(-n_cap // _TARGET_CHECKPOINTS))
+    meta = {
+        "format": CAPTURE_FORMAT,
+        "benchmarks": list(benchmarks),
+        "num_cores": len(benchmarks),
+        "quota": quota,
+        "warmup": warmup,
+        "master_seed": master_seed,
+        "slack": slack,
+        "length": n_cap,
+        "chunk": TraceSource.CHUNK,
+        "l1_sets": config.l1.num_sets,
+        "l1_ways": config.l1.ways,
+        "l2_sets": config.l2.num_sets,
+        "l2_ways": config.l2.ways,
+        "llc_sets": config.llc.num_sets,
+        "l1_next_line_prefetch": bool(config.l1_next_line_prefetch),
+        "l2_stride_prefetch": bool(config.l2_stride_prefetch),
+        "l2_prefetch_degree": int(config.l2_prefetch_degree),
+    }
+    geometry = _meta_geometry(meta)
+
+    tapes: list[CoreTape] = []
+    for core_id, name in enumerate(benchmarks):
+        source = make_source(name, geometry, core_id, master_seed)
+        l1, l2, prefetcher = _fresh_private_level(meta, core_id)
+        tape = CoreTape()
+        sim = PrivateCoreSim(
+            l1, l2, prefetcher, meta["l1_next_line_prefetch"], source, tape
+        )
+        boundaries = {n_cap}
+        if warmup > 0:
+            boundaries.add(warmup)
+        boundaries.add(finish)
+        boundaries.update(range(interval, n_cap, interval))
+        # Index-0 checkpoint: reconstruction of a cut before the first
+        # interval starts from the pristine state.
+        tape.checkpoints.append(sim.snapshot_state())
+        done = 0
+        for boundary in sorted(boundaries):
+            sim.run(boundary - done)
+            done = boundary
+            if boundary == warmup and warmup > 0:
+                tape.baseline = {
+                    "l1_demand_misses": l1.stats.demand_misses[0],
+                    "l2_demand_misses": l2.stats.demand_misses[0],
+                    "instructions": sim.instr,
+                }
+                tape.ev_step.append(boundary - 1)
+                tape.ev_kind.append(EV_BASELINE)
+                tape.ev_addr.append(0)
+                tape.ev_pc.append(0)
+            if boundary == finish:
+                tape.finish = {
+                    "l1_demand_misses": l1.stats.demand_misses[0],
+                    "l2_demand_misses": l2.stats.demand_misses[0],
+                    "instructions": sim.instr,
+                }
+                tape.ev_step.append(boundary - 1)
+                tape.ev_kind.append(EV_SNAPSHOT)
+                tape.ev_addr.append(0)
+                tape.ev_pc.append(0)
+            if boundary % interval == 0 or boundary == n_cap:
+                tape.checkpoints.append(sim.snapshot_state())
+        tapes.append(tape)
+
+    return CaptureBundle(meta, tapes)
+
+
+def extend_tape(bundle: CaptureBundle, core_id: int, n: int) -> None:
+    """Live continuation: append *n* more captured accesses to one tape.
+
+    Used by the replay kernel when a run outlives the captured stream
+    (heavy completion-time skew between co-runners).  The continuation
+    runs on scratch private levels resumed from the tape-end checkpoint —
+    the engine's own objects stay untouched for the final reconstruction —
+    and appends a fresh checkpoint so both further extension and the
+    finaliser can pick up from the new end.
+    """
+    tape = bundle.tapes[core_id]
+    sim = tape.live_sim
+    if sim is None:
+        from repro.trace.shared import make_source
+
+        meta = bundle.meta
+        l1, l2, prefetcher = _fresh_private_level(meta, core_id)
+        source = make_source(
+            meta["benchmarks"][core_id],
+            _meta_geometry(meta),
+            core_id,
+            meta["master_seed"],
+        )
+        sim = PrivateCoreSim(
+            l1, l2, prefetcher, meta["l1_next_line_prefetch"], source, tape
+        )
+        end_state = tape.checkpoints[-1]
+        sim.restore_state(end_state)
+        advance_source(source, end_state["index"])
+        tape.live_sim = sim
+    sim.run(n)
+    # Keep the capture pass's checkpoint density: further extension resumes
+    # from the persistent live_sim, and the replay finaliser only needs a
+    # checkpoint within one interval of the final cut — appending one per
+    # extension chunk would bloat long overruns for no benefit.
+    meta = bundle.meta
+    interval = max(TraceSource.CHUNK, -(-meta["length"] // _TARGET_CHECKPOINTS))
+    if sim.count - tape.checkpoints[-1]["index"] >= interval:
+        tape.checkpoints.append(sim.snapshot_state())

@@ -68,6 +68,131 @@ def fastpath_enabled() -> bool:
     return not os.environ.get("REPRO_NO_FASTPATH")
 
 
+class LlcDispatch:
+    """Resolved inline-dispatch plan for one bound LLC policy.
+
+    Computed once per run from the policy's :class:`FastPathOps` by
+    :func:`resolve_llc_dispatch`; both inline kernels (the fused loop here
+    and the LLC-filtered replay kernel, :mod:`repro.cpu.replay`) unpack the
+    same plan, so a policy dispatches identically under either engine.
+    """
+
+    __slots__ = (
+        "hit_mode",
+        "victim_mode",
+        "fill_mode",
+        "evict_mode",
+        "call_on_miss",
+        "rows",
+        "next_mru",
+        "next_lru",
+        "max_code",
+        "ship_sigs",
+        "ship_outcomes",
+        "shct",
+        "shct_max",
+        "shct_entries",
+        "sig_bits",
+        "sig_mask",
+        "sig_salt_shift",
+        "eaf",
+        "eaf_mults",
+        "eaf_size",
+        "eaf_capacity",
+        "samplers",
+        "duel_roles",
+        "duel_psels",
+    )
+
+
+def resolve_llc_dispatch(policy) -> LlcDispatch:
+    """Map a bound policy's fast-ops onto concrete inline-dispatch modes."""
+    d = LlcDispatch()
+    ops = policy.fast_ops()
+    cls = type(policy)
+    call_on_miss = cls.on_miss is not ReplacementPolicy.on_miss
+    call_on_evict = cls.on_evict is not ReplacementPolicy.on_evict
+    d.ship_sigs = d.ship_outcomes = d.shct = None
+    d.shct_max = d.shct_entries = d.sig_bits = d.sig_mask = 0
+    d.sig_salt_shift = None
+    d.eaf = None
+    d.eaf_mults = ()
+    d.eaf_size = d.eaf_capacity = 0
+    d.samplers = None
+    d.duel_roles = d.duel_psels = None
+    if ops is None:
+        d.hit_mode = d.victim_mode = d.fill_mode = _CALL
+        d.evict_mode = _EV_CALL if call_on_evict else _EV_NONE
+        d.rows = d.next_mru = d.next_lru = None
+        d.max_code = 0
+    else:
+        kind = ops.kind
+        base_mode = _STACK if kind == "stack" else _RRIP
+        hit_kind = _SHIP if kind == "ship" else _ADAPT if kind == "adapt" else base_mode
+        fill_kind = _SHIP if kind == "ship" else base_mode
+        d.hit_mode = hit_kind if ops.hit_inline else _CALL
+        d.victim_mode = base_mode if ops.victim_inline else _CALL
+        d.fill_mode = fill_kind if ops.fill_inline else _CALL
+        if kind == "ship" and ops.evict_inline:
+            d.evict_mode = _EV_SHIP
+        elif kind == "eaf" and ops.evict_inline:
+            d.evict_mode = _EV_EAF
+        elif call_on_evict:
+            d.evict_mode = _EV_CALL
+        else:
+            d.evict_mode = _EV_NONE
+        d.rows = ops.rows
+        d.next_mru, d.next_lru = ops.next_mru, ops.next_lru
+        d.max_code = ops.max_code
+        if kind == "ship":
+            d.ship_sigs, d.ship_outcomes = ops.ship_sigs, ops.ship_outcomes
+            d.shct = ops.shct
+            d.shct_max = ops.shct_max
+            d.shct_entries = ops.shct_entries
+            d.sig_bits = ops.sig_bits
+            d.sig_mask = (1 << ops.sig_bits) - 1
+            d.sig_salt_shift = ops.sig_salt_shift
+        elif kind == "eaf":
+            eaf = ops.eaf_filter
+            d.eaf = eaf
+            d.eaf_mults = tuple(eaf._MULTIPLIERS[: eaf.num_hashes])
+            d.eaf_size = eaf.size
+            d.eaf_capacity = eaf.capacity
+        elif kind == "adapt":
+            d.samplers = ops.samplers
+        if ops.miss_inline:
+            # Duelling PSEL movement executes inline; the PSEL object's
+            # ``value`` is written through so decide_insertion (a call)
+            # observes every update.
+            call_on_miss = False
+            d.duel_roles = ops.duel_roles
+            d.duel_psels = ops.duel_psels
+    d.call_on_miss = call_on_miss
+    return d
+
+
+def _decode_chunk(source, set_mask: int) -> tuple:
+    """Fetch and pre-decode one trace chunk: native lists + set indices.
+
+    ``next_chunk`` hands back NumPy arrays; the per-access loop wants plain
+    Python scalars (dict keys, arbitrary-precision arithmetic) and the L1
+    set index of every access.  Both conversions are done here with
+    vectorised NumPy operations, once per ``CHUNK`` — replacing the old
+    per-access ``addr & mask`` arithmetic and the per-chunk ``tolist``
+    inside the sources.
+
+    Returns ``(addrs, sets, pcs, writes, position)``.
+    """
+    arr_addrs, arr_pcs, arr_writes, pos = source.next_chunk()
+    return (
+        arr_addrs.tolist(),
+        (arr_addrs & set_mask).tolist(),
+        arr_pcs.tolist(),
+        arr_writes.tolist(),
+        pos,
+    )
+
+
 def _residency(cache) -> tuple[dict, list[int]]:
     """Kernel-local residency index: ``{addr: way}`` plus valid ways per set.
 
@@ -127,64 +252,26 @@ def run_fast(engine) -> list | None:
     llc_ev, llc_dev, llc_fl = s3.evictions, s3.dirty_evictions, s3.fills
 
     policy = llc.policy
-    ops = policy.fast_ops()
-    cls3 = type(policy)
-    call_on_miss = cls3.on_miss is not ReplacementPolicy.on_miss
-    call_on_evict = cls3.on_evict is not ReplacementPolicy.on_evict
-    sig3 = out3 = shct3 = None
-    shct_max3 = sig_entries3 = sig_bits3 = sig_mask3 = 0
-    salt3 = None
-    eaf3 = None
-    eaf_mults3: tuple = ()
-    eaf_size3 = eaf_cap3 = 0
-    samplers3 = None
-    duel_roles3 = duel_psels3 = None
-    if ops is None:
-        hit_mode = victim_mode = fill_mode = _CALL
-        evict_mode = _EV_CALL if call_on_evict else _EV_NONE
-        rows3 = nmru3 = nlru3 = None
-        max3 = 0
-    else:
-        kind = ops.kind
-        base_mode = _STACK if kind == "stack" else _RRIP
-        hit_kind = _SHIP if kind == "ship" else _ADAPT if kind == "adapt" else base_mode
-        fill_kind = _SHIP if kind == "ship" else base_mode
-        hit_mode = hit_kind if ops.hit_inline else _CALL
-        victim_mode = base_mode if ops.victim_inline else _CALL
-        fill_mode = fill_kind if ops.fill_inline else _CALL
-        if kind == "ship" and ops.evict_inline:
-            evict_mode = _EV_SHIP
-        elif kind == "eaf" and ops.evict_inline:
-            evict_mode = _EV_EAF
-        elif call_on_evict:
-            evict_mode = _EV_CALL
-        else:
-            evict_mode = _EV_NONE
-        rows3 = ops.rows
-        nmru3, nlru3 = ops.next_mru, ops.next_lru
-        max3 = ops.max_code
-        if kind == "ship":
-            sig3, out3 = ops.ship_sigs, ops.ship_outcomes
-            shct3 = ops.shct
-            shct_max3 = ops.shct_max
-            sig_entries3 = ops.shct_entries
-            sig_bits3 = ops.sig_bits
-            sig_mask3 = (1 << sig_bits3) - 1
-            salt3 = ops.sig_salt_shift
-        elif kind == "eaf":
-            eaf3 = ops.eaf_filter
-            eaf_mults3 = tuple(eaf3._MULTIPLIERS[: eaf3.num_hashes])
-            eaf_size3 = eaf3.size
-            eaf_cap3 = eaf3.capacity
-        elif kind == "adapt":
-            samplers3 = ops.samplers
-        if ops.miss_inline:
-            # Duelling PSEL movement executes inline; the PSEL object's
-            # ``value`` is written through so decide_insertion (a call)
-            # observes every update.
-            call_on_miss = False
-            duel_roles3 = ops.duel_roles
-            duel_psels3 = ops.duel_psels
+    dispatch = resolve_llc_dispatch(policy)
+    call_on_miss = dispatch.call_on_miss
+    hit_mode = dispatch.hit_mode
+    victim_mode = dispatch.victim_mode
+    fill_mode = dispatch.fill_mode
+    evict_mode = dispatch.evict_mode
+    rows3 = dispatch.rows
+    nmru3, nlru3 = dispatch.next_mru, dispatch.next_lru
+    max3 = dispatch.max_code
+    sig3, out3, shct3 = dispatch.ship_sigs, dispatch.ship_outcomes, dispatch.shct
+    shct_max3 = dispatch.shct_max
+    sig_entries3 = dispatch.shct_entries
+    sig_bits3 = dispatch.sig_bits
+    sig_mask3 = dispatch.sig_mask
+    salt3 = dispatch.sig_salt_shift
+    eaf3 = dispatch.eaf
+    eaf_mults3 = dispatch.eaf_mults
+    eaf_size3, eaf_cap3 = dispatch.eaf_size, dispatch.eaf_capacity
+    samplers3 = dispatch.samplers
+    duel_roles3, duel_psels3 = dispatch.duel_roles, dispatch.duel_psels
     p_on_hit = policy.on_hit
     p_on_miss = policy.on_miss
     p_on_evict = policy.on_evict
@@ -943,12 +1030,15 @@ def run_fast(engine) -> list | None:
     thresholds = [c.quota + baselines[i].accesses for i, c in enumerate(cores)]
 
     t_addrs: list = [None] * n
+    t_sets: list = [None] * n
     t_pcs: list = [None] * n
     t_writes: list = [None] * n
     t_pos = [0] * n
     t_len = [0] * n
     for i, src in enumerate(sources):
-        t_addrs[i], t_pcs[i], t_writes[i], t_pos[i] = src.next_chunk()
+        t_addrs[i], t_sets[i], t_pcs[i], t_writes[i], t_pos[i] = _decode_chunk(
+            src, l1s[i].set_mask
+        )
         t_len[i] = len(t_addrs[i])
 
     heap: list[tuple[float, int]] = [(0.0, c.core_id) for c in cores]
@@ -971,6 +1061,7 @@ def run_fast(engine) -> list | None:
             fetch_nd_c = fetch_nd_for[cid]
             bhits = 0  # L1 hits accumulated locally, flushed at sync points
             buf_a = t_addrs[cid]
+            buf_s = t_sets[cid]
             buf_p = t_pcs[cid]
             buf_w = t_writes[cid]
             pos = t_pos[cid]
@@ -984,8 +1075,9 @@ def run_fast(engine) -> list | None:
                 if pos >= length:
                     src = sources[cid]
                     src.commit(pos)
-                    buf_a, buf_p, buf_w, pos = src.next_chunk()
+                    buf_a, buf_s, buf_p, buf_w, pos = _decode_chunk(src, mask1)
                     t_addrs[cid] = buf_a
+                    t_sets[cid] = buf_s
                     t_pcs[cid] = buf_p
                     t_writes[cid] = buf_w
                     length = len(buf_a)
@@ -996,7 +1088,7 @@ def run_fast(engine) -> list | None:
                 way = get1(addr, -1)
                 if way >= 0:
                     bhits += 1
-                    s = addr & mask1
+                    s = buf_s[pos]
                     reused1[s][way] = True
                     if buf_w[pos]:
                         dirty1[s][way] = True
@@ -1008,7 +1100,7 @@ def run_fast(engine) -> list | None:
                     instr += ipa_c
                     next_t = t + comp_c
                 else:
-                    s = addr & mask1
+                    s = buf_s[pos]
                     is_write = buf_w[pos]
                     (
                         lookup1,

@@ -50,13 +50,14 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help="one of: list, fig1, fig3, fig4, fig6, fig7, fig8, "
         "table2, table3, table4, table6, table7, ablations, golden, "
-        "profile <bench>",
+        "profile <bench>, traces gc",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="profile only: the experiment to run under cProfile (e.g. fig3)",
+        help="profile: the experiment to run under cProfile (e.g. fig3); "
+        "traces: the maintenance action (gc)",
     )
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
@@ -98,6 +99,11 @@ def main(argv: list[str] | None = None) -> int:
         help="profile only: also dump raw pstats data to this file "
         "(inspectable with snakeviz / pstats)",
     )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="traces gc only: report what would be pruned without deleting",
+    )
     args = parser.parse_args(argv)
 
     names = (
@@ -105,23 +111,30 @@ def main(argv: list[str] | None = None) -> int:
         "ablations golden"
     ).split()
     if args.experiment == "list":
-        print("\n".join(names + ["profile <bench>"]))
+        print("\n".join(names + ["profile <bench>", "traces gc"]))
         return 0
     if args.experiment == "profile":
         if args.target not in names or args.target == "golden":
             parser.error(
                 f"profile needs a bench to run, one of: {' '.join(n for n in names if n != 'golden')}"
             )
+    elif args.experiment == "traces":
+        if args.target != "gc":
+            parser.error("traces supports one action: gc")
     else:
         if args.target is not None:
             parser.error(
-                f"unrecognized argument {args.target!r} (only 'profile' takes a target)"
+                f"unrecognized argument {args.target!r} "
+                "(only 'profile' and 'traces' take a target)"
             )
         if args.experiment not in names:
             parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
 
     if args.experiment == "golden":
         return _golden(args.fixtures_dir, args.regen)
+
+    if args.experiment == "traces":
+        return _traces_gc(args)
 
     if args.experiment == "profile":
         return _profile(args)
@@ -184,6 +197,24 @@ def _run_experiment(name: str, runner, config, settings, cores: int) -> None:
         print(run_priority_range_ablation(runner).render())
         print(run_interval_ablation(runner).render())
         print(run_monitor_sets_ablation(runner).render())
+
+
+def _traces_gc(args) -> int:
+    """``repro-experiments traces gc``: prune unreferenced shared buffers.
+
+    Walks the persistent result store, recomputes the trace-buffer and
+    replay-capture keys every stored result references, and deletes the
+    rest of ``<results-dir>/traces/`` — so long-lived stores stop growing
+    unboundedly.  ``--dry-run`` reports without deleting.
+    """
+    from repro.runner.tracegc import collect_garbage
+
+    if not args.results_dir:
+        print("traces gc needs a persistent store (--results-dir)", file=sys.stderr)
+        return 2
+    report = collect_garbage(args.results_dir, dry_run=args.dry_run)
+    print(report.render())
+    return 0
 
 
 def _profile(args) -> int:

@@ -123,13 +123,26 @@ def run_case(
     *,
     platform: str = "base",
     force_generic: bool = False,
+    kernel: str | None = None,
+    config: SystemConfig | None = None,
 ) -> dict:
     """Execute one golden case and return its exhaustive observation record.
 
-    Every value is JSON-safe and round-trips exactly (floats serialise via
-    ``repr`` and compare bit-for-bit after a load).
+    ``kernel`` selects the engine under test: ``"fast"`` (default, the
+    fused loop), ``"generic"`` (the reference loop; ``force_generic`` is
+    the legacy spelling) or ``"replay"`` (capture the private-level
+    streams, then run the LLC-filtered replay kernel).  Every value is
+    JSON-safe and round-trips exactly (floats serialise via ``repr`` and
+    compare bit-for-bit after a load).
     """
-    config = replace(golden_config(), **GOLDEN_PLATFORMS[platform])
+    if kernel is None:
+        kernel = "generic" if force_generic else "fast"
+    if config is None:
+        config = golden_config()
+    # The platform overrides compose with an explicitly-passed config, so
+    # run_case(..., platform="prefetch", config=...) cannot silently pin
+    # the wrong platform.
+    config = replace(config, **GOLDEN_PLATFORMS[platform])
     hierarchy = build_hierarchy(config, policy)
     sources = build_sources(Workload("golden", benchmarks), config, MASTER_SEED)
     engine = MulticoreEngine(
@@ -139,8 +152,20 @@ def run_case(
         interval_misses=config.effective_interval,
         warmup_accesses=WARMUP,
     )
-    if force_generic:
+    if kernel == "generic":
         snapshots = engine._run_generic()
+    elif kernel == "replay":
+        # Capture the private-level streams with an independent source set,
+        # then drive the engine through the LLC-filtered replay kernel.
+        from repro.cpu.capture import capture_workload
+        from repro.cpu.replay import run_replay
+
+        bundle = capture_workload(
+            tuple(benchmarks), config, QUOTA, WARMUP, MASTER_SEED
+        )
+        snapshots = run_replay(engine, bundle)
+        if snapshots is None:
+            raise RuntimeError("golden platform must be replay eligible")
     else:
         # Drive the fused kernel directly — bypassing the REPRO_NO_FASTPATH
         # kill switch — so the "fast" record always exercises the fast path

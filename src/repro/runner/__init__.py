@@ -9,7 +9,13 @@ The subsystem has three pieces:
   completed job under a ``results/`` directory, shared across invocations;
 * :mod:`repro.runner.parallel` — :class:`ParallelRunner`, which fans job
   batches out over a process pool (``REPRO_JOBS`` workers, default
-  ``os.cpu_count()``) and reads/writes the store around each run.
+  ``os.cpu_count()``) and reads/writes the store around each run;
+* :mod:`repro.runner.replaystore` — :class:`ReplayStore`, the
+  content-addressed replay-capture artifacts a policy sweep shares (one
+  private-level capture per platform, replayed by every swept job), plus
+  the per-process manifest registry;
+* :mod:`repro.runner.tracegc` — ``repro-experiments traces gc``, pruning
+  shared buffers no stored result references any more.
 
 The experiments layer (:class:`repro.experiments.common.Runner`) sits on
 top, keeping its in-process memo as the L1 cache above the store.
@@ -24,6 +30,7 @@ from repro.runner.jobs import (
     job_from_dict,
 )
 from repro.runner.parallel import ParallelRunner, default_jobs
+from repro.runner.replaystore import ReplayStore
 from repro.runner.store import ResultStore
 
 __all__ = [
@@ -32,6 +39,7 @@ __all__ = [
     "Job",
     "ParallelRunner",
     "PolicySpec",
+    "ReplayStore",
     "ResultStore",
     "WorkloadJob",
     "default_jobs",

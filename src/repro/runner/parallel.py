@@ -30,6 +30,11 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.runner.jobs import SCHEMA_VERSION, Job, job_from_dict
+from repro.runner.replaystore import (
+    ReplayStore,
+    clear_replay_manifest,
+    install_replay_manifest,
+)
 from repro.runner.store import ResultStore
 from repro.trace.shared import (
     SharedTraceStore,
@@ -65,17 +70,49 @@ def _job_trace_identities(job: Job) -> list[tuple]:
     ]
 
 
-def _execute_payload(task: tuple[dict, list[dict]]) -> dict:
+def _execute_payload(task: tuple[dict, list[dict], list[dict]]) -> dict:
     """Worker entry point: dict in, dict out — nothing exotic crosses the pipe.
 
-    The shared-trace manifest rides along with every payload; installing
-    it is idempotent (mappings are cached per path), so a worker reusing a
-    process across tasks maps each buffer once.
+    The shared-trace and replay-capture manifests ride along with every
+    payload; installing them is idempotent (mappings and bundles are
+    cached per path), so a worker reusing a process across tasks maps
+    each buffer once.
+    """
+    payload, manifest, replay_manifest = task
+    if manifest:
+        install_manifest(manifest)
+    install_replay_manifest(replay_manifest)
+    return job_from_dict(payload).execute().to_dict()
+
+
+def _execute_capture(task: tuple[dict, list[dict]]) -> dict | None:
+    """Worker entry point for one capture job; returns its manifest entry.
+
+    Captures are scheduled ahead of the replay jobs that depend on them;
+    the shared-trace manifest is installed first so the capture pass
+    replays materialised trace buffers zero-copy instead of regenerating.
+    Replay is a pure optimisation, so *any* failure degrades to ``None``
+    — the affected sweep simply runs on the fused kernel.
     """
     payload, manifest = task
     if manifest:
         install_manifest(manifest)
-    return job_from_dict(payload).execute().to_dict()
+    try:
+        return ReplayStore(payload["root"]).materialise(
+            tuple(payload["benchmarks"]),
+            _config_from(payload["config"]),
+            payload["quota"],
+            payload["warmup"],
+            payload["master_seed"],
+        )
+    except Exception:
+        return None
+
+
+def _config_from(data: dict):
+    from repro.sim.config import SystemConfig
+
+    return SystemConfig.from_dict(data)
 
 
 class ParallelRunner:
@@ -143,11 +180,27 @@ class ParallelRunner:
             # Install in this process too: inline execution replays the
             # same buffers the pool workers map.
             install_manifest(manifest)
+        # One pool serves both phases: the capture jobs warm the workers
+        # (imports, trace-buffer mmaps) for the batch that follows.
+        pool = None
+        if self.jobs > 1 and len(misses) > 1:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(misses)))
         try:
-            for key, job, result in self._execute(misses, manifest):
+            # Capture jobs run ahead of the replay jobs that depend on
+            # them (they need the trace manifest installed in workers).
+            replay_manifest = self._prepare_replays(
+                [job for _, job in misses], manifest, pool
+            )
+            install_replay_manifest(replay_manifest)
+            for key, job, result in self._execute(
+                misses, manifest, replay_manifest, pool
+            ):
                 results[key] = result
                 self._save(key, job, result)
         finally:
+            if pool is not None:
+                pool.shutdown()
+            clear_replay_manifest()
             if manifest:
                 clear_manifest()
 
@@ -156,19 +209,23 @@ class ParallelRunner:
     def run_one(self, job: Job):
         return self.run([job])[0]
 
-    def _execute(self, misses: list[tuple[str, Job]], manifest: list[dict]):
+    def _execute(
+        self,
+        misses: list[tuple[str, Job]],
+        manifest: list[dict],
+        replay_manifest: list[dict],
+        pool: ProcessPoolExecutor | None,
+    ):
         self.stats["executed"] += len(misses)
         if not misses:
             return
-        if self.jobs <= 1 or len(misses) == 1:
+        if pool is None:
             for key, job in misses:
                 yield key, job, job.execute()
             return
-        payloads = [(job.to_dict(), manifest) for _, job in misses]
-        workers = min(self.jobs, len(misses))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for (key, job), data in zip(misses, pool.map(_execute_payload, payloads)):
-                yield key, job, job.result_from_dict(data)
+        payloads = [(job.to_dict(), manifest, replay_manifest) for _, job in misses]
+        for (key, job), data in zip(misses, pool.map(_execute_payload, payloads)):
+            yield key, job, job.result_from_dict(data)
 
     # -- shared traces -----------------------------------------------------------
 
@@ -238,6 +295,69 @@ class ParallelRunner:
         except OSError:
             return []
         return manifest
+
+    # -- replay captures ---------------------------------------------------------
+
+    def _prepare_replays(
+        self,
+        jobs: list[Job],
+        trace_manifest: list[dict],
+        pool: ProcessPoolExecutor | None,
+    ) -> list[dict]:
+        """Capture the private-level streams of every swept platform.
+
+        A *sweep* is two or more miss jobs sharing one capture identity —
+        same workload, private-level platform and budgets, different LLC
+        policy.  One capture job runs per identity, scheduled through the
+        batch's worker pool ahead of it (captures parallelise across
+        identities and warm the workers' buffer mappings), and the
+        resulting manifest makes every swept job execute on the
+        LLC-filtered replay kernel.  Returns ``[]`` when sharing is off,
+        nothing is swept, or capture fails — every failure mode falls
+        back to the fused kernel, which is always equivalent.
+        """
+        from repro.cpu.replay import replay_enabled
+        from repro.sim.build import capture_identity
+
+        if not self.share_traces or len(jobs) < 2 or not replay_enabled():
+            return []
+        counts: dict[tuple, int] = {}
+        payloads: dict[tuple, dict] = {}
+        for job in jobs:
+            if job.kind != "workload":
+                continue
+            identity = capture_identity(
+                job.benchmarks, job.config, job.quota, job.warmup, job.master_seed
+            )
+            counts[identity] = counts.get(identity, 0) + 1
+            payloads.setdefault(
+                identity,
+                {
+                    "benchmarks": list(job.benchmarks),
+                    "config": job.config.to_dict(),
+                    "quota": job.quota,
+                    "warmup": job.warmup,
+                    "master_seed": job.master_seed,
+                },
+            )
+        swept = [ident for ident, count in counts.items() if count >= 2]
+        if not swept:
+            return []
+        try:
+            root = str(self.trace_store().root)
+        except OSError:
+            return []
+        tasks = []
+        for ident in swept:
+            payload = dict(payloads[ident])
+            payload["root"] = root
+            tasks.append((payload, trace_manifest))
+        entries: list[dict | None]
+        if pool is not None and len(tasks) > 1:
+            entries = list(pool.map(_execute_capture, tasks))
+        else:
+            entries = [_execute_capture(task) for task in tasks]
+        return [entry for entry in entries if entry]
 
     # -- store plumbing ----------------------------------------------------------
 

@@ -1,0 +1,256 @@
+"""Content-addressed replay-capture artifacts and their per-process registry.
+
+The second kind of shared buffer in the result store's ``traces/``
+directory (next to the zero-copy trace buffers of
+:mod:`repro.trace.shared`): one ``replay-<key>.npz`` per distinct
+``(workload, private-level platform, budgets, seed)``, holding the
+private-level streams a whole policy sweep replays through the
+LLC-filtered kernel (:mod:`repro.cpu.replay`).
+
+Artifacts are structured-NumPy end to end — per-core ``uint8`` step
+streams and structured event records plus one JSON meta blob (bundle
+identity, checkpoints, baseline/finish stat records) — written atomically
+and addressed by a SHA-256 over the capture identity, so a stale or
+foreign file is simply never loaded.
+
+The lifecycle mirrors shared traces, driven by
+:class:`~repro.runner.parallel.ParallelRunner`:
+
+1. the parent scans a miss batch for platform identities swept by two or
+   more jobs and schedules one **capture job** per identity ahead of the
+   batch (through the same worker pool, so captures parallelise);
+2. the resulting manifest rides along with every worker payload;
+   :func:`install_replay_manifest` registers the artifacts in the
+   executing process;
+3. :func:`active_replay_bundle` (consulted by
+   :func:`repro.sim.multi.run_workload`) lazily loads and caches the
+   bundle for a registered identity, so every swept job runs on the
+   replay kernel with an automatic fallback to the fused loop;
+4. the parent clears the registry after the batch; files persist and are
+   reused content-addressed by later invocations.
+
+``REPRO_NO_REPLAY`` (or ``REPRO_NO_FASTPATH``) disables the whole
+mechanism; results are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.capture import CAPTURE_FORMAT, EVENT_DTYPE, CaptureBundle, CoreTape
+
+_KEY_LEN = 40
+
+
+def replay_key(identity: tuple, slack: float) -> str:
+    """Content address of one capture artifact."""
+    blob = json.dumps(
+        {"v": CAPTURE_FORMAT, "identity": list(identity), "slack": slack},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:_KEY_LEN]
+
+
+def save_bundle(bundle: CaptureBundle, path: Path) -> None:
+    """Atomically write *bundle* as one ``.npz`` (arrays + JSON meta blob)."""
+    blob = {
+        "meta": bundle.meta,
+        "tapes": [
+            {
+                "checkpoints": tape.checkpoints,
+                "baseline": tape.baseline,
+                "finish": tape.finish,
+                "length": tape.length,
+            }
+            for tape in bundle.tapes
+        ],
+    }
+    arrays = {
+        "meta_json": np.frombuffer(json.dumps(blob).encode(), dtype=np.uint8)
+    }
+    for i, tape in enumerate(bundle.tapes):
+        arrays[f"steps_{i}"] = tape.steps_array()
+        arrays[f"events_{i}"] = tape.events_array()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def identity_from_meta(meta: dict) -> tuple:
+    """Reconstruct an artifact's capture identity from its embedded meta.
+
+    Matches :func:`repro.sim.build.capture_identity` field for field, so
+    consumers (the gc pass) can recognise an on-disk artifact regardless
+    of the slack it was captured with.
+    """
+    return (
+        tuple(meta["benchmarks"]),
+        meta["l1_sets"],
+        meta["l1_ways"],
+        meta["l2_sets"],
+        meta["l2_ways"],
+        meta["llc_sets"],
+        bool(meta["l1_next_line_prefetch"]),
+        bool(meta["l2_stride_prefetch"]),
+        int(meta["l2_prefetch_degree"]) if meta["l2_stride_prefetch"] else 0,
+        int(meta["quota"]),
+        int(meta["warmup"]),
+        int(meta["master_seed"]),
+        int(meta["chunk"]),
+    )
+
+
+def load_meta(path: Path | str) -> dict | None:
+    """Just an artifact's meta block (no tapes); ``None`` on any damage."""
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            blob = json.loads(bytes(npz["meta_json"]).decode())
+            meta = blob["meta"]
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        return None
+    if meta.get("format") != CAPTURE_FORMAT:
+        return None
+    return meta
+
+
+def load_bundle(path: Path | str) -> CaptureBundle | None:
+    """Load an artifact back into a live bundle; ``None`` on any damage."""
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            blob = json.loads(bytes(npz["meta_json"]).decode())
+            meta = blob["meta"]
+            if meta.get("format") != CAPTURE_FORMAT:
+                return None
+            tapes = []
+            for i, rec in enumerate(blob["tapes"]):
+                events = npz[f"events_{i}"]
+                if events.dtype != EVENT_DTYPE:
+                    return None
+                tape = CoreTape()
+                tape.steps = bytearray(npz[f"steps_{i}"].tobytes())
+                tape.ev_step = events["step"].tolist()
+                tape.ev_kind = events["kind"].tolist()
+                tape.ev_addr = events["addr"].tolist()
+                tape.ev_pc = events["pc"].tolist()
+                tape.checkpoints = rec["checkpoints"]
+                tape.baseline = rec["baseline"]
+                tape.finish = rec["finish"]
+                tape.length = rec["length"]
+                tapes.append(tape)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        return None
+    return CaptureBundle(meta, tapes)
+
+
+class ReplayStore:
+    """Capture artifacts under a shared-trace directory.
+
+    ``stats`` counts real capture work (``captured``) separately from
+    warm-store reuse (``reused``).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = {"captured": 0, "reused": 0}
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"replay-{key}.npz"
+
+    def materialise(
+        self,
+        benchmarks: tuple[str, ...],
+        config,
+        quota: int,
+        warmup: int,
+        master_seed: int,
+    ) -> dict:
+        """Capture (or find) one artifact; returns its manifest entry."""
+        from repro.cpu.capture import capture_workload, replay_slack
+        from repro.sim.build import capture_identity
+
+        identity = capture_identity(benchmarks, config, quota, warmup, master_seed)
+        slack = replay_slack()
+        key = replay_key(identity, slack)
+        path = self.path_for(key)
+        if path.is_file():
+            self.stats["reused"] += 1
+        else:
+            bundle = capture_workload(
+                tuple(benchmarks), config, quota, warmup, master_seed, slack
+            )
+            save_bundle(bundle, path)
+            self.stats["captured"] += 1
+        return {"identity": list(identity), "path": str(path)}
+
+
+# -- per-process registry ------------------------------------------------------
+
+#: Identity tuple -> artifact path, installed from a manifest.
+_ACTIVE: dict[tuple, str] = {}
+#: Path -> loaded bundle, so repeated installs/jobs reuse one load (and
+#: share any live tape extensions within the process).  Bounded: a loaded
+#: bundle expands its arrays into Python lists, so an unbounded cache
+#: would grow a long-lived parent process by one platform per sweep.
+_BUNDLES: dict[str, CaptureBundle | None] = {}
+_BUNDLE_CACHE_LIMIT = 4
+
+
+def _freeze(identity) -> tuple:
+    return (tuple(identity[0]),) + tuple(identity[1:])
+
+
+def install_replay_manifest(entries: list[dict]) -> None:
+    """Register every manifest artifact for :func:`active_replay_bundle`."""
+    active: dict[tuple, str] = {}
+    for entry in entries:
+        try:
+            active[_freeze(entry["identity"])] = entry["path"]
+        except (KeyError, TypeError):
+            continue
+    _ACTIVE.clear()
+    _ACTIVE.update(active)
+
+
+def clear_replay_manifest() -> None:
+    """Drop the registry (loaded bundles stay cached for a later install)."""
+    _ACTIVE.clear()
+
+
+def active_replay_bundle(
+    benchmarks: tuple[str, ...], config, quota: int, warmup: int, master_seed: int
+):
+    """The registered capture bundle for one run identity, or ``None``.
+
+    Loads the artifact on first use and caches it per path; an unreadable
+    or mismatched file registers as a permanent miss, so the affected jobs
+    simply run on the fused kernel.
+    """
+    if not _ACTIVE:
+        return None
+    from repro.sim.build import capture_identity
+
+    identity = capture_identity(benchmarks, config, quota, warmup, master_seed)
+    path = _ACTIVE.get(identity)
+    if path is None:
+        return None
+    if path not in _BUNDLES:
+        while len(_BUNDLES) >= _BUNDLE_CACHE_LIMIT:
+            _BUNDLES.pop(next(iter(_BUNDLES)))
+        _BUNDLES[path] = load_bundle(path)
+    return _BUNDLES[path]

@@ -1,0 +1,138 @@
+"""Garbage collection for the shared-buffer directory of a result store.
+
+Long-lived stores accumulate zero-copy trace buffers
+(:mod:`repro.trace.shared`) and replay-capture artifacts
+(:mod:`repro.runner.replaystore`) under ``<store>/traces/``.  Both are
+pure caches — deleting one only costs a regeneration — but nothing ever
+pruned them, so heavily-used stores grew without bound.
+
+``collect_garbage`` walks every stored result, recomputes the
+content-addressed buffer keys its job would use today (same trace-chunk
+budget, same capture slack), and removes every buffer file no stored
+result references.  Exposed as ``repro-experiments traces gc``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runner.jobs import job_from_dict
+from repro.runner.store import ResultStore
+
+#: Orphaned ``.tmp`` files (crashed atomic writes) younger than this are
+#: left alone — they may belong to a writer that is still running.
+_TMP_GRACE_SECONDS = 3600.0
+
+
+@dataclass
+class GcReport:
+    """What a collection pass found and did."""
+
+    results_scanned: int
+    referenced: int
+    kept: list[str]
+    removed: list[str]
+    freed_bytes: int
+    dry_run: bool
+
+    def render(self) -> str:
+        action = "would remove" if self.dry_run else "removed"
+        lines = [
+            f"traces gc: {self.results_scanned} stored results scanned, "
+            f"{self.referenced} buffers referenced",
+            f"{len(self.kept)} kept, {len(self.removed)} {action} "
+            f"({self.freed_bytes / 1024:.0f} KiB)",
+        ]
+        lines.extend(f"  - {name}" for name in self.removed)
+        return "\n".join(lines)
+
+
+def _referenced(store: ResultStore) -> tuple[int, set[str], set[tuple]]:
+    """What the currently-stored results reference.
+
+    Returns ``(results scanned, trace-buffer file names, replay-capture
+    identities)``.  Replay artifacts are matched by the *identity*
+    embedded in each file — not by recomputing the content address —
+    because the slack factor is part of the address and may differ
+    between the sweeps that wrote an artifact and the gc environment.
+    """
+    from repro.runner.parallel import _job_trace_identities
+    from repro.sim.build import capture_identity
+    from repro.trace.shared import trace_key
+
+    scanned = 0
+    names: set[str] = set()
+    identities: set[tuple] = set()
+    for key in store.keys():
+        payload = store.get(key)
+        if not payload:
+            continue
+        try:
+            job = job_from_dict(payload["job"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        scanned += 1
+        for name, geometry, core_id, seed, n_chunks in _job_trace_identities(job):
+            names.add(f"{trace_key(name, geometry, core_id, seed, n_chunks)}.npy")
+        if job.kind == "workload":
+            identities.add(
+                capture_identity(
+                    job.benchmarks, job.config, job.quota, job.warmup, job.master_seed
+                )
+            )
+    return scanned, names, identities
+
+
+def collect_garbage(results_dir: str | Path, dry_run: bool = False) -> GcReport:
+    """Prune unreferenced trace/replay buffers under ``<results_dir>/traces``."""
+    from repro.runner.replaystore import identity_from_meta, load_meta
+
+    store = ResultStore(results_dir)
+    scanned, trace_names, replay_identities = _referenced(store)
+    traces_dir = store.root / "traces"
+    kept: list[str] = []
+    removed: list[str] = []
+    freed = 0
+    if traces_dir.is_dir():
+        now = time.time()
+        candidates = sorted(
+            p
+            for pattern in ("*.npy", "replay-*.npz", "*.tmp")
+            for p in traces_dir.glob(pattern)
+        )
+        for path in candidates:
+            if path.suffix == ".npy" and path.name in trace_names:
+                kept.append(path.name)
+                continue
+            if path.suffix == ".npz":
+                meta = load_meta(path)
+                if meta is not None and identity_from_meta(meta) in replay_identities:
+                    kept.append(path.name)
+                    continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.suffix == ".tmp" and now - stat.st_mtime < _TMP_GRACE_SECONDS:
+                # A crashed atomic write leaves one behind — but a young
+                # one may still belong to a live writer.
+                kept.append(path.name)
+                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    kept.append(path.name)
+                    continue
+            removed.append(path.name)
+            freed += stat.st_size
+    return GcReport(
+        results_scanned=scanned,
+        referenced=len(trace_names) + len(replay_identities),
+        kept=kept,
+        removed=removed,
+        freed_bytes=freed,
+        dry_run=dry_run,
+    )

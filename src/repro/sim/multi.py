@@ -8,6 +8,7 @@ expressed by passing a pre-built policy instance.
 
 from __future__ import annotations
 
+from repro.cpu import replay
 from repro.cpu.engine import MulticoreEngine
 from repro.policies.spec import policy_key
 from repro.sim.build import PolicyLike, build_hierarchy, build_sources
@@ -25,7 +26,15 @@ def run_workload(
     warmup: int = 5_000,
     master_seed: int = 0,
 ) -> WorkloadResult:
-    """Run *workload* under *policy*; every core measured over *quota* accesses."""
+    """Run *workload* under *policy*; every core measured over *quota* accesses.
+
+    When the parallel runner has registered a replay-capture artifact for
+    this run's identity (a policy sweep over one platform), the engine is
+    driven through the LLC-filtered replay kernel instead of re-simulating
+    the private levels — results are bit-identical; only the returned
+    snapshots and the LLC-side state are materialised (the discarded
+    private-cache end state is not reconstructed).
+    """
     if workload.cores != config.num_cores:
         config = config.with_cores(workload.cores)
     hierarchy = build_hierarchy(config, policy)
@@ -37,7 +46,17 @@ def run_workload(
         interval_misses=config.effective_interval,
         warmup_accesses=warmup,
     )
-    snapshots = engine.run()
+    snapshots = None
+    if replay.replay_enabled():
+        from repro.runner.replaystore import active_replay_bundle
+
+        bundle = active_replay_bundle(
+            workload.benchmarks, config, quota, warmup, master_seed
+        )
+        if bundle is not None:
+            snapshots = replay.run_replay(engine, bundle, finalize=False)
+    if snapshots is None:
+        snapshots = engine.run()
     return WorkloadResult(
         workload_name=workload.name,
         benchmarks=workload.benchmarks,

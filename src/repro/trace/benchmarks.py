@@ -180,6 +180,7 @@ class TraceSource:
         "spec",
         "geometry",
         "core_id",
+        "master_seed",
         "address_offset",
         "_rng",
         "working_set_blocks",
@@ -210,6 +211,7 @@ class TraceSource:
         self.spec = spec
         self.geometry = geometry
         self.core_id = core_id
+        self.master_seed = master_seed
         self.address_offset = (core_id + 1) << 36
         seed = derive_seed(master_seed, f"trace/{spec.name}/core{core_id}")
         self._rng = np.random.default_rng(seed)
@@ -312,10 +314,10 @@ class TraceSource:
         return addrs, pcs, writes
 
     def _refill(self) -> None:
-        addrs, pcs, writes = self._generate_chunk()
-        self._addrs = addrs.tolist()
-        self._pcs = pcs.tolist()
-        self._writes = writes.tolist()
+        # Buffers stay NumPy end-to-end: chunked consumers (the fused and
+        # replay kernels) pre-decode them with vectorised operations, and
+        # the one-at-a-time path converts to native scalars per access.
+        self._addrs, self._pcs, self._writes = self._generate_chunk()
         self._pos = 0
 
     def _apply_echo(self, footprint: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -344,20 +346,24 @@ class TraceSource:
         return footprint
 
     def next_access(self) -> tuple[int, int, bool]:
-        """The next ``(block_addr, pc, is_write)`` triple."""
+        """The next ``(block_addr, pc, is_write)`` triple (native scalars)."""
         if self._pos >= len(self._addrs):
             self._refill()
         pos = self._pos
         self._pos = pos + 1
-        return self._addrs[pos], self._pcs[pos], self._writes[pos]
+        # Native conversions keep the generic engine loop free of NumPy
+        # scalar types (dict keys, signature folding and EAF hashing must
+        # use arbitrary-precision Python ints).
+        return int(self._addrs[pos]), int(self._pcs[pos]), bool(self._writes[pos])
 
     # -- batched consumption (fast-path engine) -------------------------------
 
-    def next_chunk(self) -> tuple[list[int], list[int], list[bool], int]:
-        """Current ``(addrs, pcs, writes, position)`` buffers, refilled if spent.
+    def next_chunk(self) -> tuple:
+        """Current ``(addrs, pcs, writes, position)`` NumPy buffers.
 
-        The fused engine loop (:mod:`repro.cpu.fastpath`) indexes these
-        arrays directly — one Python call per ``CHUNK`` accesses instead of
+        The fused engine loop (:mod:`repro.cpu.fastpath`) pre-decodes these
+        arrays once per chunk (vectorised set-index masks, native-type
+        conversion) — one Python call per ``CHUNK`` accesses instead of
         one :meth:`next_access` call per access.  Consumers own the read
         position until they hand it back via :meth:`commit`; generation
         order (and therefore RNG draw order) is identical to the

@@ -269,10 +269,12 @@ class SharedTraceSource(TraceSource):
             start = self.chunks_generated * self.CHUNK
             end = start + self.CHUNK
             if end <= len(shared):
+                # Zero-copy field views into the mapped buffer; consumers
+                # pre-decode/convert per chunk exactly like generated chunks.
                 block = shared[start:end]
-                self._addrs = block["addr"].tolist()
-                self._pcs = block["pc"].tolist()
-                self._writes = block["write"].tolist()
+                self._addrs = block["addr"]
+                self._pcs = block["pc"]
+                self._writes = block["write"]
                 self._pos = 0
                 self.chunks_generated += 1
                 return

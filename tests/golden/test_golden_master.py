@@ -95,6 +95,52 @@ class TestKernelDifferential:
         problems = compare_records(fast, generic)
         assert not problems, "\n".join(problems)
 
+    def test_replay_equals_fast(self, policy, workload, benchmarks, platform):
+        """Capture + LLC-filtered replay reproduces the fused kernel
+        record for record — snapshots, every cache's stats and content
+        digest, timing-model counters, trace positions and RNG state."""
+        fast = run_case(policy, benchmarks, platform=platform)
+        replayed = run_case(policy, benchmarks, platform=platform, kernel="replay")
+        problems = compare_records(fast, replayed)
+        assert not problems, "\n".join(problems)
+
+
+#: One policy per inline family, matching the prefetch-platform pinning
+#: rationale: the replay event path is policy-independent beyond the hook
+#: dispatch, so this subset covers every dispatch mode per core count.
+SCALE_POLICIES = ("lru", "tadrrip", "ship", "eaf", "adapt_bp32")
+
+#: Core-count scaling differentials: the golden fixtures pin two cores, so
+#: the single-core shape (no co-runner interleaving) and the 16-core shape
+#: (heap pressure, per-thread duelling/monitors) are pinned here, on both
+#: the plain and the prefetch-everything platforms.
+SCALE_PLATFORMS = [
+    pytest.param(1, ("mcf",), "base", id="1core"),
+    pytest.param(1, ("mcf",), "prefetch", id="1core_pf"),
+    pytest.param(16, ("mcf", "libq", "gcc", "calc") * 4, "base", id="16core"),
+    pytest.param(16, ("mcf", "libq", "gcc", "calc") * 4, "prefetch", id="16core_pf"),
+]
+
+
+@pytest.mark.parametrize("policy", SCALE_POLICIES)
+@pytest.mark.parametrize(("cores", "benchmarks", "platform"), SCALE_PLATFORMS)
+class TestKernelDifferentialScaling:
+    @staticmethod
+    def _config(cores):
+        from dataclasses import replace
+
+        config = golden_config().with_cores(cores)
+        return replace(config, name=f"golden-{cores}core")
+
+    def test_generic_fast_replay_agree(self, policy, cores, benchmarks, platform):
+        config = self._config(cores)
+        kwargs = {"platform": platform, "config": config}
+        generic = run_case(policy, benchmarks, kernel="generic", **kwargs)
+        fast = run_case(policy, benchmarks, kernel="fast", **kwargs)
+        replayed = run_case(policy, benchmarks, kernel="replay", **kwargs)
+        problems = compare_records(generic, fast) + compare_records(fast, replayed)
+        assert not problems, "\n".join(problems)
+
 
 class _NextAccessOnly:
     """Duck-typed source exposing only the per-access API (no next_chunk)."""

@@ -1,0 +1,110 @@
+"""``repro-experiments traces gc``: prune unreferenced shared buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.runner import ParallelRunner, ResultStore, WorkloadJob
+from repro.runner.tracegc import collect_garbage
+from repro.sim.config import SystemConfig
+from repro.trace.workloads import Workload
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    config = SystemConfig.scaled(16).with_cores(2)
+    workload = Workload("g", ("mcf", "libq"))
+    jobs = [
+        WorkloadJob.for_workload(
+            workload, config, policy, quota=300, warmup=80, master_seed=0
+        )
+        for policy in ("lru", "srrip", "ship")
+    ]
+    root = tmp_path / "results"
+    ParallelRunner(jobs=1, store=ResultStore(root)).run(jobs)
+    return root
+
+
+class TestCollectGarbage:
+    def test_referenced_buffers_survive(self, populated_store):
+        traces = populated_store / "traces"
+        before = sorted(p.name for p in traces.iterdir())
+        # The sweep materialised shared traces and one replay artifact.
+        assert any(name.endswith(".npy") for name in before)
+        assert any(name.startswith("replay-") for name in before)
+        report = collect_garbage(populated_store)
+        assert report.removed == []
+        assert sorted(p.name for p in traces.iterdir()) == before
+
+    def test_orphans_are_pruned(self, populated_store):
+        traces = populated_store / "traces"
+        orphan_trace = traces / ("ab" * 20 + ".npy")
+        orphan_trace.write_bytes(b"x" * 64)
+        orphan_replay = traces / ("replay-" + "cd" * 20 + ".npz")
+        orphan_replay.write_bytes(b"y" * 64)
+        report = collect_garbage(populated_store)
+        assert sorted(report.removed) == sorted(
+            [orphan_trace.name, orphan_replay.name]
+        )
+        assert report.freed_bytes == 128
+        assert not orphan_trace.exists() and not orphan_replay.exists()
+
+    def test_replay_artifacts_survive_a_slack_change(
+        self, populated_store, monkeypatch
+    ):
+        """Artifacts are matched by their embedded capture identity, so a
+        gc run under a different REPRO_REPLAY_SLACK (which changes the
+        content address) must not delete still-referenced captures."""
+        traces = populated_store / "traces"
+        before = {p.name for p in traces.glob("replay-*.npz")}
+        assert before
+        monkeypatch.setenv("REPRO_REPLAY_SLACK", "0.9")
+        report = collect_garbage(populated_store)
+        assert report.removed == []
+        assert {p.name for p in traces.glob("replay-*.npz")} == before
+
+    def test_stale_tmp_files_are_pruned_after_grace(self, populated_store):
+        import os
+        import time
+
+        traces = populated_store / "traces"
+        stale = traces / "tmpabc123.tmp"
+        stale.write_bytes(b"partial write")
+        old = time.time() - 2 * 3600
+        os.utime(stale, (old, old))
+        fresh = traces / "tmpdef456.tmp"
+        fresh.write_bytes(b"live writer")
+        report = collect_garbage(populated_store)
+        assert stale.name in report.removed and not stale.exists()
+        # A young .tmp may belong to a writer that is still running.
+        assert fresh.exists() and fresh.name in report.kept
+
+    def test_dry_run_deletes_nothing(self, populated_store):
+        traces = populated_store / "traces"
+        orphan = traces / ("ef" * 20 + ".npy")
+        orphan.write_bytes(b"z" * 32)
+        report = collect_garbage(populated_store, dry_run=True)
+        assert report.dry_run and orphan.name in report.removed
+        assert orphan.exists()
+
+    def test_results_without_traces_dir(self, tmp_path):
+        report = collect_garbage(tmp_path / "empty")
+        assert report.removed == [] and report.kept == []
+
+
+class TestCli:
+    def test_traces_gc_subcommand(self, populated_store, capsys):
+        orphan = populated_store / "traces" / ("0f" * 20 + ".npy")
+        orphan.write_bytes(b"o")
+        assert main(["traces", "gc", "--results-dir", str(populated_store)]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out and orphan.name in out
+        assert not orphan.exists()
+
+    def test_traces_requires_gc_action(self):
+        with pytest.raises(SystemExit):
+            main(["traces", "prune"])
+
+    def test_gc_requires_store(self, capsys):
+        assert main(["traces", "gc", "--results-dir", ""]) == 2
