@@ -1,277 +1,43 @@
-"""Command-line front-end: regenerate any paper table/figure.
+"""Command-line front-end: paper artifacts, tournaments and reports.
 
 Usage::
 
     python -m repro.experiments list
     python -m repro.experiments table2
-    python -m repro.experiments fig3 [--cores 16] [--jobs 8]
+    python -m repro.experiments fig3 [--jobs 8] [--seed 1]
+    python -m repro.experiments tournament --seeds 3
+    python -m repro.experiments report --baseline BENCH_tournament.json
+    python -m repro.experiments golden --regen
+    python -m repro.experiments profile fig3 --top 40
+    python -m repro.experiments traces gc --dry-run
     REPRO_SCALE=2 python -m repro.experiments fig8 --results-dir results
 
 (also installed as the ``repro-experiments`` console script.)
 
-Simulation-backed experiments honour ``REPRO_SCALE`` exactly like the
-pytest benches do, and share one memoising runner per invocation.  Runs
-are sharded over ``--jobs`` worker processes (default: ``REPRO_JOBS`` or
-the CPU count) and persisted in the ``--results-dir`` store (default
-``results/``), so a repeated invocation — or a later figure that shares
-runs with an earlier one — performs no new simulation.  ``--no-cache``
-forces fresh simulations; ``--results-dir ''`` disables the store.
+Every command is an argparse subcommand registered in
+:mod:`repro.experiments.cli` and defined in
+:mod:`repro.experiments.commands`; each declares exactly the flags it
+honours, so a flag a command does not support is a usage error rather
+than silently ignored.  Simulation-backed commands honour ``REPRO_SCALE``
+exactly like the pytest benches do, share one memoising runner per
+invocation, shard cache misses over ``--jobs`` worker processes (default:
+``REPRO_JOBS`` or the CPU count) and persist results in the
+``--results-dir`` store (default ``results/``) — so a repeated
+invocation, or a later figure/report that shares runs with an earlier
+one, performs no new simulation.
 """
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 
-from repro.experiments.ablation import (
-    run_interval_ablation,
-    run_monitor_sets_ablation,
-    run_priority_range_ablation,
-)
-from repro.experiments.common import ExperimentSettings, Runner
-from repro.experiments.fig1 import run_fig1
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.fig7 import run_fig7
-from repro.experiments.perapp import run_perapp
-from repro.experiments.scurves import run_scurve
-from repro.experiments.table4 import run_table4
-from repro.experiments.table7 import run_table7
-from repro.experiments.tables import render_table2, render_table3, render_table6
-from repro.sim.config import SystemConfig
+import repro.experiments.commands  # noqa: F401  (registers every subcommand)
+from repro.experiments.cli import dispatch
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate a table or figure from the ADAPT paper.",
-    )
-    parser.add_argument(
-        "experiment",
-        help="one of: list, fig1, fig3, fig4, fig6, fig7, fig8, "
-        "table2, table3, table4, table6, table7, ablations, golden, "
-        "profile <bench>, traces gc",
-    )
-    parser.add_argument(
-        "target",
-        nargs="?",
-        default=None,
-        help="profile: the experiment to run under cProfile (e.g. fig3); "
-        "traces: the maintenance action (gc)",
-    )
-    parser.add_argument("--cores", type=int, default=16)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes (default: REPRO_JOBS or CPU count; 1 = inline)",
-    )
-    parser.add_argument(
-        "--results-dir",
-        default="results",
-        help="persistent result store root ('' disables the store)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="ignore the result store and simulate everything fresh",
-    )
-    parser.add_argument(
-        "--regen",
-        action="store_true",
-        help="golden only: rewrite the golden-master fixtures instead of verifying",
-    )
-    parser.add_argument(
-        "--fixtures-dir",
-        default=None,
-        help="golden only: fixture directory (default: tests/golden/fixtures)",
-    )
-    parser.add_argument(
-        "--top",
-        type=int,
-        default=25,
-        help="profile only: number of cumulative-time rows to print",
-    )
-    parser.add_argument(
-        "--profile-out",
-        default=None,
-        help="profile only: also dump raw pstats data to this file "
-        "(inspectable with snakeviz / pstats)",
-    )
-    parser.add_argument(
-        "--dry-run",
-        action="store_true",
-        help="traces gc only: report what would be pruned without deleting",
-    )
-    args = parser.parse_args(argv)
-
-    names = (
-        "fig1 fig3 fig4 fig6 fig7 fig8 table2 table3 table4 table6 table7 "
-        "ablations golden"
-    ).split()
-    if args.experiment == "list":
-        print("\n".join(names + ["profile <bench>", "traces gc"]))
-        return 0
-    if args.experiment == "profile":
-        if args.target not in names or args.target == "golden":
-            parser.error(
-                f"profile needs a bench to run, one of: {' '.join(n for n in names if n != 'golden')}"
-            )
-    elif args.experiment == "traces":
-        if args.target != "gc":
-            parser.error("traces supports one action: gc")
-    else:
-        if args.target is not None:
-            parser.error(
-                f"unrecognized argument {args.target!r} "
-                "(only 'profile' and 'traces' take a target)"
-            )
-        if args.experiment not in names:
-            parser.error(f"unknown experiment {args.experiment!r}; try 'list'")
-
-    if args.experiment == "golden":
-        return _golden(args.fixtures_dir, args.regen)
-
-    if args.experiment == "traces":
-        return _traces_gc(args)
-
-    if args.experiment == "profile":
-        return _profile(args)
-
-    config, settings = _config_and_settings(args)
-    runner = Runner(
-        config,
-        settings,
-        jobs=args.jobs,
-        results_dir=args.results_dir or None,
-        use_cache=not args.no_cache,
-    )
-
-    _run_experiment(args.experiment, runner, config, settings, args.cores)
-    print(runner.cache_summary(), file=sys.stderr)
-    return 0
-
-
-def _config_and_settings(args) -> tuple[SystemConfig, ExperimentSettings]:
-    """The platform + budgets one invocation runs with (seed override applied)."""
-    config = SystemConfig.scaled(args.cores)
-    settings = ExperimentSettings.from_env()
-    if args.seed:
-        settings = ExperimentSettings(
-            master_seed=args.seed, workloads=settings.workloads
-        )
-    return config, settings
-
-
-def _run_experiment(name: str, runner, config, settings, cores: int) -> None:
-    """Execute one named experiment and print its rendering."""
-    if name == "fig1":
-        print(run_fig1(runner, cores).render())
-    elif name == "fig3":
-        print(run_scurve(runner, 16).render())
-    elif name == "fig4":
-        result = run_perapp(runner, 16)
-        print(result.render(thrashing=True))
-        print()
-        print(result.render(thrashing=False))
-    elif name == "fig6":
-        print(run_fig6(runner, cores).render())
-    elif name == "fig7":
-        print(run_fig7(runner).render())
-    elif name == "fig8":
-        for n in (4, 8, 20, 24):
-            print(run_scurve(runner, n).render())
-            print()
-    elif name == "table2":
-        print(render_table2())
-    elif name == "table3":
-        print(render_table3(config))
-    elif name == "table4":
-        print(run_table4(config, settings, pool=runner.pool).render())
-    elif name == "table6":
-        print(render_table6(settings.master_seed))
-    elif name == "table7":
-        print(run_table7(runner).render())
-    elif name == "ablations":
-        print(run_priority_range_ablation(runner).render())
-        print(run_interval_ablation(runner).render())
-        print(run_monitor_sets_ablation(runner).render())
-
-
-def _traces_gc(args) -> int:
-    """``repro-experiments traces gc``: prune unreferenced shared buffers.
-
-    Walks the persistent result store, recomputes the trace-buffer and
-    replay-capture keys every stored result references, and deletes the
-    rest of ``<results-dir>/traces/`` — so long-lived stores stop growing
-    unboundedly.  ``--dry-run`` reports without deleting.
-    """
-    from repro.runner.tracegc import collect_garbage
-
-    if not args.results_dir:
-        print("traces gc needs a persistent store (--results-dir)", file=sys.stderr)
-        return 2
-    report = collect_garbage(args.results_dir, dry_run=args.dry_run)
-    print(report.render())
-    return 0
-
-
-def _profile(args) -> int:
-    """``repro-experiments profile <bench>``: cProfile + top-N cumulative dump.
-
-    The bench runs inline (one process, store bypassed) so the profile
-    captures real simulation work rather than pickling or cache reads —
-    exactly the view a perf PR needs to locate hot spots.  ``--top``
-    bounds the table; ``--profile-out`` keeps the raw stats for tooling.
-    """
-    import cProfile
-    import io
-    import pstats
-
-    config, settings = _config_and_settings(args)
-    runner = Runner(config, settings, jobs=1, results_dir=None, use_cache=False)
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        _run_experiment(args.target, runner, config, settings, args.cores)
-    finally:
-        profiler.disable()
-    stream = io.StringIO()
-    stats = pstats.Stats(profiler, stream=stream)
-    stats.sort_stats("cumulative").print_stats(args.top)
-    print(stream.getvalue())
-    if args.profile_out:
-        stats.dump_stats(args.profile_out)
-        print(f"raw profile written to {args.profile_out}", file=sys.stderr)
-    print(runner.cache_summary(), file=sys.stderr)
-    return 0
-
-
-def _golden(fixtures_dir: str | None, regen: bool) -> int:
-    """Verify — or with ``--regen`` rewrite — the golden-master fixtures.
-
-    Fixtures pin the simulation kernel's exact behaviour for every
-    registered policy (see :mod:`repro.golden`).  Regenerate only after an
-    *intentional* behaviour change, then review the fixture diff.
-    """
-    from repro.golden import verify_fixtures, write_fixtures
-
-    if regen:
-        written = write_fixtures(fixtures_dir)
-        print(f"regenerated {len(written)} golden fixtures in {written[0].parent}")
-        return 0
-    failures = verify_fixtures(fixtures_dir)
-    if not failures:
-        print("golden fixtures verified: kernel behaviour is bit-identical")
-        return 0
-    for name, problems in sorted(failures.items()):
-        print(f"FAIL {name}")
-        for problem in problems:
-            print(f"  {problem}")
-    print(f"{len(failures)} golden case(s) diverged; if intentional, re-run "
-          "with --regen and review the fixture diff")
-    return 1
+    return dispatch(argv, prog="python -m repro.experiments")
 
 
 def cli() -> int:
@@ -281,7 +47,7 @@ def cli() -> int:
     can, then exit with the conventional SIGPIPE status.
     """
     try:
-        code = main()
+        code = dispatch()
         sys.stdout.flush()
     except BrokenPipeError:
         devnull = os.open(os.devnull, os.O_WRONLY)

@@ -1,0 +1,141 @@
+"""Command registry for the ``repro-experiments`` CLI.
+
+Every subcommand registers itself with the :func:`register_command`
+decorator (infra-style): a name, a help line, and a ``configure``
+callback that adds exactly the flags that command understands.
+:func:`build_parser` assembles real argparse subparsers from the
+registry, so
+
+* each command owns its flag set — ``--regen`` exists only on
+  ``golden``, ``--dry-run`` only on ``traces``, ``--seed`` only on
+  simulation-backed commands — and an unsupported flag is an argparse
+  *error* instead of being silently ignored;
+* the historical spellings keep working unchanged: ``repro-experiments
+  fig3``, ``golden --regen``, ``profile fig3``, ``traces gc`` are all
+  ordinary subcommand invocations of the same registry;
+* new commands (``tournament``, ``report``) are one decorated function
+  away.
+
+Shared flag groups (store/runner plumbing, simulation seeds) live here as
+``add_*_flags`` helpers so every command spells them identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+from dataclasses import dataclass
+
+Configure = Callable[[argparse.ArgumentParser], None]
+Run = Callable[[argparse.Namespace], int]
+
+
+@dataclass(frozen=True)
+class Command:
+    """One registered subcommand."""
+
+    name: str
+    help: str
+    run: Run
+    configure: Configure | None = None
+
+
+#: Registry, in registration order (which is the ``list``/help order).
+COMMANDS: dict[str, Command] = {}
+
+
+def register_command(
+    name: str, *, help: str = "", configure: Configure | None = None
+) -> Callable[[Run], Run]:
+    """Class-less command registration: decorate the run function.
+
+    ``configure`` receives the command's subparser and adds its flags;
+    the decorated function receives the parsed namespace and returns the
+    process exit code.
+    """
+
+    def decorator(run: Run) -> Run:
+        if name in COMMANDS:
+            raise ValueError(f"duplicate command {name!r}")
+        COMMANDS[name] = Command(name=name, help=help, run=run, configure=configure)
+        return run
+
+    return decorator
+
+
+# -- shared flag groups ------------------------------------------------------------
+
+
+def add_store_flags(parser: argparse.ArgumentParser, *, jobs: bool = True) -> None:
+    """Result-store + worker-pool plumbing shared by executing commands."""
+    if jobs:
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes (default: REPRO_JOBS or CPU count; 1 = inline)",
+        )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="persistent result store root ('' disables the store)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the result store and simulate everything fresh",
+    )
+
+
+def add_seed_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed for workload sampling and trace generation",
+    )
+
+
+def add_sim_flags(parser: argparse.ArgumentParser, *, cores: bool = False) -> None:
+    """Flags of every simulation-backed command (optionally ``--cores``)."""
+    if cores:
+        parser.add_argument(
+            "--cores", type=int, default=16, help="platform core count"
+        )
+    add_seed_flag(parser)
+    add_store_flags(parser)
+
+
+# -- parser assembly ---------------------------------------------------------------
+
+
+def build_parser(prog: str | None = None) -> argparse.ArgumentParser:
+    """An argparse parser with one subparser per registered command."""
+    parser = argparse.ArgumentParser(
+        prog=prog or "repro-experiments",
+        description="Regenerate paper tables/figures, run policy tournaments "
+        "and aggregate reports from the ADAPT reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="command")
+    for command in COMMANDS.values():
+        sub = subparsers.add_parser(
+            command.name, help=command.help, description=command.help
+        )
+        if command.configure is not None:
+            command.configure(sub)
+    return parser
+
+
+def dispatch(argv: list[str] | None = None, prog: str | None = None) -> int:
+    """Parse *argv* and run the selected command.
+
+    The handler is looked up in :data:`COMMANDS` at dispatch time (not
+    frozen into the parser), so tests can stub a command's ``run``.
+    """
+    parser = build_parser(prog)
+    args = parser.parse_args(argv)
+    if not args.command:
+        parser.print_help(sys.stderr)
+        return 2
+    return COMMANDS[args.command].run(args)

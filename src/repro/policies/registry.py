@@ -51,10 +51,25 @@ _FACTORIES: dict[str, Callable[..., ReplacementPolicy]] = {
 #: Policies the paper evaluates head to head in Figures 3 and 8.
 PAPER_POLICIES = ("tadrrip", "lru", "ship", "eaf", "adapt_ins", "adapt_bp32")
 
+#: Alternate registry spellings that build the same policy as another
+#: entry (``adapt`` is the paper's shorthand for the bp32 configuration).
+POLICY_ALIASES = {"adapt": "adapt_bp32"}
+
 
 def available_policies() -> list[str]:
     """All registered base policy names (without ``+bp`` forms)."""
     return sorted(_FACTORIES)
+
+
+def tournament_policies() -> tuple[str, ...]:
+    """Every *distinct* registered policy, alias spellings collapsed.
+
+    This is the "all policies" roster the tournament driver sweeps: one
+    entry per distinct default-configured policy, so the standing
+    all-policies x all-workloads comparison never simulates the same
+    configuration twice under two names.
+    """
+    return tuple(name for name in available_policies() if name not in POLICY_ALIASES)
 
 
 def make_policy(name: str, **kwargs) -> ReplacementPolicy:

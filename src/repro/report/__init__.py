@@ -1,0 +1,64 @@
+"""Tournament reporting: aggregate the result store into ranked tables.
+
+The subsystem has four pieces, modeled on instrumentation-infra's report
+machinery but built on this repo's typed store query API:
+
+* :mod:`repro.report.aggregate` — turn stored runs into measurement cells
+  and ranked per-policy summaries (:func:`report_from_store`);
+* :mod:`repro.report.stats` — deterministic (cluster) bootstrap
+  confidence intervals for the handful-of-seeds regime;
+* :mod:`repro.report.tables` — monospace renderings: ranked table,
+  per-workload breakdown, head-to-head win matrix;
+* :mod:`repro.report.bench` + :mod:`repro.report.regress` — the committed
+  ``BENCH_tournament.json`` trajectory snapshot and the detector that
+  diffs two snapshots and fails CI on significant movement.
+
+The ``repro-experiments tournament`` driver fills the store this package
+reads; ``repro-experiments report`` is the CLI front-end over all of it.
+"""
+
+from repro.report.aggregate import (
+    DEFAULT_BASELINE,
+    Cell,
+    PolicySummary,
+    TournamentData,
+    TournamentReport,
+    aggregate,
+    gather,
+    report_from_store,
+)
+from repro.report.bench import (
+    SNAPSHOT_SCHEMA,
+    build_snapshot,
+    config_hash,
+    load_snapshot,
+    measure_kernel_throughput,
+    write_snapshot,
+)
+from repro.report.regress import DEFAULT_THRESHOLD, Movement, RegressionReport, compare
+from repro.report.stats import bootstrap_ci, cluster_bootstrap_ci
+from repro.report.tables import render_report
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+    "SNAPSHOT_SCHEMA",
+    "Cell",
+    "Movement",
+    "PolicySummary",
+    "RegressionReport",
+    "TournamentData",
+    "TournamentReport",
+    "aggregate",
+    "bootstrap_ci",
+    "build_snapshot",
+    "cluster_bootstrap_ci",
+    "compare",
+    "config_hash",
+    "gather",
+    "load_snapshot",
+    "measure_kernel_throughput",
+    "render_report",
+    "report_from_store",
+    "write_snapshot",
+]

@@ -1,0 +1,290 @@
+"""Aggregate the result store into per-policy tournament statistics.
+
+The tournament driver fills the persistent store with one
+:class:`~repro.sim.results.WorkloadResult` per (policy, workload, seed)
+plus the single-application ``IPC_alone`` baselines the throughput metrics
+need.  This module turns those raw records into ranked statistics:
+
+* one :class:`Cell` per (policy, workload, seed) — the weighted speed-up
+  against the solo baselines, its ratio over the baseline policy on the
+  same workload (the paper's y-axis), and the mean LLC MPKI;
+* one :class:`PolicySummary` per policy — geometric means over its cells
+  with a seed-clustered bootstrap confidence interval
+  (:mod:`repro.report.stats`);
+* a head-to-head win matrix — for every policy pair, the share of common
+  cells where the row policy beats the column policy.
+
+Everything is read through the store's typed query API
+(:meth:`~repro.runner.store.ResultStore.query`); this module has no
+knowledge of the on-disk JSON layout.  Records that cannot be aggregated —
+parameterised :class:`~repro.policies.spec.PolicySpec` sweeps from the
+ablation figures, runs whose solo baselines or baseline-policy partner
+were never simulated — are counted and skipped, so a store shared with
+figure campaigns still reports cleanly on its tournament subset.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.metrics.throughput import weighted_speedup
+from repro.report.stats import cluster_bootstrap_ci
+from repro.runner.store import ResultStore, StoredResult
+from repro.util.stats import arithmetic_mean, geometric_mean
+
+#: The reference everything is normalised against — the paper's baseline.
+DEFAULT_BASELINE = "tadrrip"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One measured (policy, workload, seed) tournament entry."""
+
+    policy: str
+    workload: str
+    config_name: str
+    cores: int
+    seed: int
+    #: Weighted speed-up over the solo-execution baselines.
+    ws: float
+    #: ``ws`` normalised to the baseline policy on the same workload/seed.
+    rel_ws: float
+    #: Mean LLC misses per kilo-instruction across the workload's cores.
+    llc_mpki: float
+
+    def group_key(self) -> tuple[str, str, int]:
+        """The comparison group: same workload, platform and seed."""
+        return (self.workload, self.config_name, self.seed)
+
+
+@dataclass
+class TournamentData:
+    """Every aggregatable cell in a store, plus what had to be skipped."""
+
+    baseline: str
+    cells: list[Cell] = field(default_factory=list)
+    #: Stable identity strings of every aggregated run (policy, workload,
+    #: platform, seed, budgets) — the input to the snapshot config hash.
+    identities: list[str] = field(default_factory=list)
+    skipped_parameterised: int = 0
+    skipped_no_alone: int = 0
+    skipped_no_baseline: int = 0
+
+    @property
+    def policies(self) -> list[str]:
+        return sorted({c.policy for c in self.cells})
+
+    @property
+    def seeds(self) -> list[int]:
+        return sorted({c.seed for c in self.cells})
+
+    @property
+    def workloads(self) -> list[str]:
+        return sorted({c.workload for c in self.cells})
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """One ranked row of the tournament table."""
+
+    policy: str
+    cells: int
+    rel_ws_geomean: float
+    rel_ws_ci: tuple[float, float]
+    ws_geomean: float
+    llc_mpki_mean: float
+    #: Mean head-to-head score against every other policy (ties count half).
+    win_rate: float
+
+
+@dataclass
+class TournamentReport:
+    """The aggregated store: ranked summaries plus the full win matrix."""
+
+    data: TournamentData
+    summaries: list[PolicySummary]  # ranked best-first by rel_ws_geomean
+    win_matrix: dict[str, dict[str, float]]
+
+    def summary_for(self, policy: str) -> PolicySummary | None:
+        for summary in self.summaries:
+            if summary.policy == policy:
+                return summary
+        return None
+
+
+def _config_identity(config) -> str:
+    """A canonical string for one platform (name alone can alias)."""
+    return json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _alone_ipcs(store: ResultStore) -> dict[tuple[str, int, str], tuple[int, float]]:
+    """``(benchmark, seed, solo-platform) -> (quota, IPC_alone)`` lookup.
+
+    When a benchmark was measured more than once (different budgets, a
+    monitored Table 4 characterisation run), the highest-quota
+    unmonitored run wins — monitors are passive so the IPC matches, but
+    preferring the plain run keeps the choice canonical.
+    """
+    alone: dict[tuple[str, int, str], tuple[int, float]] = {}
+    ranked: dict[tuple[str, int, str], tuple[int, int]] = {}
+    for record in store.query(kind="alone"):
+        job = record.job
+        key = (job.benchmark, job.master_seed, _config_identity(job.config))
+        rank = (0 if job.monitor else 1, job.quota)
+        if key in ranked and ranked[key] >= rank:
+            continue
+        ranked[key] = rank
+        alone[key] = (job.quota, record.result().ipc)
+    return alone
+
+
+def _workload_ws(record: StoredResult, alone) -> tuple[float, float] | None:
+    """(weighted speed-up, mean LLC MPKI) for one workload record."""
+    job = record.job
+    solo = _config_identity(job.config.with_cores(1))
+    baselines = []
+    for benchmark in job.benchmarks:
+        entry = alone.get((benchmark, job.master_seed, solo))
+        if entry is None:
+            return None
+        baselines.append(entry[1])
+    result = record.result()
+    return (
+        weighted_speedup(result.ipcs, baselines),
+        arithmetic_mean(result.llc_mpkis),
+    )
+
+
+def gather(store: ResultStore, baseline: str = DEFAULT_BASELINE) -> TournamentData:
+    """Collect every tournament-shaped cell from *store*.
+
+    A cell needs three things: a plain (non-parameterised) policy name, a
+    solo baseline for each of its benchmarks under the same platform and
+    seed, and a baseline-policy run of the same workload to normalise
+    against.  Records missing any of them are counted per reason.
+    """
+    data = TournamentData(baseline=baseline)
+    alone = _alone_ipcs(store)
+    # (workload, platform, seed) -> policy -> (record, ws, mpki)
+    groups: dict[tuple, dict[str, tuple[StoredResult, float, float]]] = {}
+    for record in store.query(kind="workload"):
+        if not isinstance(record.job.policy, str):
+            data.skipped_parameterised += 1
+            continue
+        measured = _workload_ws(record, alone)
+        if measured is None:
+            data.skipped_no_alone += 1
+            continue
+        key = (record.workload, record.config.name, record.seed)
+        groups.setdefault(key, {})[record.policy] = (record, *measured)
+    for (workload, config_name, seed), by_policy in sorted(groups.items()):
+        base = by_policy.get(baseline)
+        if base is None:
+            data.skipped_no_baseline += len(by_policy)
+            continue
+        base_ws = base[1]
+        for policy, (record, ws, mpki) in sorted(by_policy.items()):
+            job = record.job
+            data.cells.append(
+                Cell(
+                    policy=policy,
+                    workload=workload,
+                    config_name=config_name,
+                    cores=record.cores,
+                    seed=seed,
+                    ws=ws,
+                    rel_ws=ws / base_ws,
+                    llc_mpki=mpki,
+                )
+            )
+            data.identities.append(
+                f"{policy}|{workload}|{config_name}|{seed}"
+                f"|q{job.quota}|w{job.warmup}"
+            )
+    data.identities.sort()
+    return data
+
+
+def _win_matrix(data: TournamentData) -> dict[str, dict[str, float]]:
+    """Pairwise head-to-head scores over common (workload, seed) cells."""
+    by_group: dict[tuple, dict[str, float]] = {}
+    for cell in data.cells:
+        by_group.setdefault(cell.group_key(), {})[cell.policy] = cell.ws
+    policies = data.policies
+    scores = {a: dict.fromkeys(policies, 0.0) for a in policies}
+    counts = {a: dict.fromkeys(policies, 0) for a in policies}
+    for group in by_group.values():
+        present = sorted(group)
+        for i, a in enumerate(present):
+            for b in present[i + 1 :]:
+                counts[a][b] += 1
+                counts[b][a] += 1
+                if group[a] > group[b]:
+                    scores[a][b] += 1.0
+                elif group[b] > group[a]:
+                    scores[b][a] += 1.0
+                else:
+                    scores[a][b] += 0.5
+                    scores[b][a] += 0.5
+    return {
+        a: {
+            b: (scores[a][b] / counts[a][b]) if counts[a][b] else 0.5
+            for b in policies
+            if b != a
+        }
+        for a in policies
+    }
+
+
+def aggregate(
+    data: TournamentData,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int | None = None,
+) -> TournamentReport:
+    """Rank the gathered cells into per-policy summaries + win matrix."""
+    from repro.report.stats import DEFAULT_RESAMPLES
+
+    n_resamples = DEFAULT_RESAMPLES if n_resamples is None else n_resamples
+    win_matrix = _win_matrix(data)
+    summaries = []
+    for policy in data.policies:
+        cells = [c for c in data.cells if c.policy == policy]
+        by_seed: dict[int, list[float]] = {}
+        for cell in cells:
+            by_seed.setdefault(cell.seed, []).append(cell.rel_ws)
+        ci = cluster_bootstrap_ci(
+            [by_seed[s] for s in sorted(by_seed)],
+            confidence=confidence,
+            n_resamples=n_resamples,
+        )
+        opponents = win_matrix.get(policy, {})
+        summaries.append(
+            PolicySummary(
+                policy=policy,
+                cells=len(cells),
+                rel_ws_geomean=geometric_mean([c.rel_ws for c in cells]),
+                rel_ws_ci=ci,
+                ws_geomean=geometric_mean([c.ws for c in cells]),
+                llc_mpki_mean=arithmetic_mean([c.llc_mpki for c in cells]),
+                win_rate=(
+                    arithmetic_mean(list(opponents.values())) if opponents else 0.5
+                ),
+            )
+        )
+    summaries.sort(key=lambda s: (-s.rel_ws_geomean, s.policy))
+    return TournamentReport(data=data, summaries=summaries, win_matrix=win_matrix)
+
+
+def report_from_store(
+    store: ResultStore,
+    *,
+    baseline: str = DEFAULT_BASELINE,
+    confidence: float = 0.95,
+    n_resamples: int | None = None,
+) -> TournamentReport:
+    """Gather + aggregate in one call (the ``report`` command entry)."""
+    return aggregate(
+        gather(store, baseline), confidence=confidence, n_resamples=n_resamples
+    )

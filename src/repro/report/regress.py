@@ -1,0 +1,152 @@
+"""Regression detection between two tournament snapshots.
+
+``repro-experiments report --baseline BENCH_tournament.json`` diffs the
+freshly aggregated store against a committed snapshot and exits non-zero
+when a policy's headline metric moved *significantly* downward.  The
+simulations are deterministic, so an unchanged tree reproduces the
+baseline bit-for-bit and the detector stays silent; any movement is a real
+behaviour change, and the significance test separates noise-scale drift
+from movement worth failing CI over.
+
+A movement in policy P's rel-WS geomean is **significant** when both:
+
+* the relative change exceeds ``threshold`` (default 1%), and
+* the baseline value falls outside the current run's seed-clustered
+  bootstrap confidence interval.
+
+Two snapshots are only *comparable* when their ``config_hash`` matches —
+same policy roster, workload slots, platforms, seeds and budgets.  A
+mismatch (someone reshaped the tournament without regenerating the
+committed snapshot) is reported loudly but is not a regression: there is
+nothing meaningful to diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.report.stats import outside_interval
+
+#: Minimum relative movement of a rel-WS geomean considered significant.
+DEFAULT_THRESHOLD = 0.01
+
+
+@dataclass(frozen=True)
+class Movement:
+    """One policy's headline-metric change between two snapshots."""
+
+    policy: str
+    baseline_value: float
+    current_value: float
+    #: Current-run bootstrap CI the baseline value is tested against.
+    current_ci: tuple[float, float]
+    threshold: float
+
+    @property
+    def delta(self) -> float:
+        return self.current_value - self.baseline_value
+
+    @property
+    def delta_rel(self) -> float:
+        return self.delta / self.baseline_value
+
+    @property
+    def significant(self) -> bool:
+        return abs(self.delta_rel) > self.threshold and outside_interval(
+            self.baseline_value, self.current_ci
+        )
+
+    @property
+    def regression(self) -> bool:
+        return self.significant and self.delta < 0
+
+    @property
+    def improvement(self) -> bool:
+        return self.significant and self.delta > 0
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of diffing a current snapshot against a baseline."""
+
+    comparable: bool
+    notes: list[str] = field(default_factory=list)
+    movements: list[Movement] = field(default_factory=list)
+    added_policies: list[str] = field(default_factory=list)
+    removed_policies: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Movement]:
+        return [m for m in self.movements if m.regression]
+
+    @property
+    def improvements(self) -> list[Movement]:
+        return [m for m in self.movements if m.improvement]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def render(self) -> str:
+        lines = []
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if not self.comparable:
+            lines.append(
+                "snapshots are NOT comparable (config hash mismatch) — "
+                "no regression verdict; regenerate the baseline snapshot "
+                "if the tournament shape changed intentionally"
+            )
+            return "\n".join(lines)
+        flagged = sorted(
+            (m for m in self.movements if m.significant),
+            key=lambda m: m.delta_rel,
+        )
+        if not flagged:
+            lines.append(
+                f"no significant movement across {len(self.movements)} policies"
+            )
+        for m in flagged:
+            verdict = "REGRESSION" if m.regression else "improvement"
+            lo, hi = m.current_ci
+            lines.append(
+                f"{verdict}: {m.policy} rel WS {m.baseline_value:.4f} -> "
+                f"{m.current_value:.4f} ({m.delta_rel * 100:+.2f}%, "
+                f"baseline outside current CI [{lo:.4f}, {hi:.4f}])"
+            )
+        return "\n".join(lines)
+
+
+def compare(
+    current: dict, baseline: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> RegressionReport:
+    """Diff two snapshot payloads (see :mod:`repro.report.bench` schema)."""
+    report = RegressionReport(
+        comparable=current.get("config_hash") == baseline.get("config_hash")
+    )
+    cur_policies = current.get("policies", {})
+    base_policies = baseline.get("policies", {})
+    report.added_policies = sorted(set(cur_policies) - set(base_policies))
+    report.removed_policies = sorted(set(base_policies) - set(cur_policies))
+    if report.added_policies:
+        report.notes.append(f"new policies: {', '.join(report.added_policies)}")
+    if report.removed_policies:
+        report.notes.append(
+            f"policies missing from current run: {', '.join(report.removed_policies)}"
+        )
+    if not report.comparable:
+        return report
+    for policy in sorted(set(cur_policies) & set(base_policies)):
+        cur = cur_policies[policy]
+        base = base_policies[policy]
+        lo, hi = cur["rel_ws_ci"]
+        report.movements.append(
+            Movement(
+                policy=policy,
+                baseline_value=base["rel_ws_geomean"],
+                current_value=cur["rel_ws_geomean"],
+                current_ci=(lo, hi),
+                threshold=threshold,
+            )
+        )
+    return report

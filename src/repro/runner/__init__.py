@@ -6,7 +6,10 @@ The subsystem has three pieces:
   (:class:`WorkloadJob`, :class:`AloneJob`, :class:`PolicySpec`) with
   stable content-addressed cache keys;
 * :mod:`repro.runner.store` — :class:`ResultStore`, one JSON file per
-  completed job under a ``results/`` directory, shared across invocations;
+  completed job under a ``results/`` directory, shared across invocations,
+  with a typed query API (:class:`StoredResult`, ``records``/``query``)
+  that aggregating consumers (:mod:`repro.report`, ``traces gc``) use
+  instead of touching the JSON layout;
 * :mod:`repro.runner.parallel` — :class:`ParallelRunner`, which fans job
   batches out over a process pool (``REPRO_JOBS`` workers, default
   ``os.cpu_count()``) and reads/writes the store around each run;
@@ -31,7 +34,7 @@ from repro.runner.jobs import (
 )
 from repro.runner.parallel import ParallelRunner, default_jobs
 from repro.runner.replaystore import ReplayStore
-from repro.runner.store import ResultStore
+from repro.runner.store import ResultStore, StoredResult
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -41,6 +44,7 @@ __all__ = [
     "PolicySpec",
     "ReplayStore",
     "ResultStore",
+    "StoredResult",
     "WorkloadJob",
     "default_jobs",
     "job_from_dict",

@@ -15,6 +15,12 @@ simulations against a warm store.
 Writes are atomic (temp file + ``os.replace``), so concurrent workers and
 interrupted runs can never leave a truncated entry behind; a corrupt or
 unreadable entry is treated as a miss and overwritten on the next run.
+
+Consumers that *aggregate* the store — the :mod:`repro.report` tournament
+tables, ``traces gc`` — go through the typed query API
+(:meth:`ResultStore.records` / :meth:`ResultStore.query`, yielding
+:class:`StoredResult`) rather than walking the JSON layout themselves, so
+the on-disk encoding stays a private detail of this module.
 """
 
 from __future__ import annotations
@@ -23,7 +29,64 @@ import json
 import os
 import tempfile
 from collections.abc import Iterator
+from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One stored run, decoded: the job that produced it plus its payload.
+
+    The job carries the full simulation identity (workload composition,
+    complete :class:`~repro.sim.config.SystemConfig`, policy designation,
+    budgets, master seed); the result payload stays in its raw dict form
+    until :meth:`result` materialises it, so store scans that only filter
+    on identity never pay result deserialisation.
+    """
+
+    key: str
+    job: object  # Job; typed loosely to keep this module import-light
+    payload: dict
+
+    @property
+    def kind(self) -> str:
+        """``"workload"`` (multi-programmed run) or ``"alone"`` (baseline)."""
+        return self.job.kind
+
+    @cached_property
+    def policy(self) -> str:
+        """The policy identity label (``PolicySpec`` kwargs included)."""
+        from repro.policies.spec import policy_key
+
+        return policy_key(self.job.policy)
+
+    @property
+    def workload(self) -> str:
+        """Workload name, or the benchmark name for an ``alone`` run."""
+        job = self.job
+        return job.workload_name if job.kind == "workload" else job.benchmark
+
+    @property
+    def benchmarks(self) -> tuple[str, ...]:
+        job = self.job
+        return job.benchmarks if job.kind == "workload" else (job.benchmark,)
+
+    @property
+    def seed(self) -> int:
+        return self.job.master_seed
+
+    @property
+    def config(self):
+        return self.job.config
+
+    @property
+    def cores(self) -> int:
+        return self.job.config.num_cores
+
+    def result(self):
+        """The deserialised result record (``WorkloadResult``/``SingleRunResult``)."""
+        return self.job.result_from_dict(self.payload["result"])
 
 
 class ResultStore:
@@ -72,3 +135,57 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    # -- typed query API ---------------------------------------------------------
+
+    def records(self) -> Iterator[StoredResult]:
+        """Every decodable stored run, in stable (key-sorted) order.
+
+        Entries whose schema version differs from the current encoding, or
+        whose job payload no longer reconstructs (corruption, a removed
+        job kind), are skipped — exactly the entries the execution path
+        would treat as cache misses.
+        """
+        from repro.runner.jobs import SCHEMA_VERSION, job_from_dict
+
+        for key in self.keys():
+            payload = self.get(key)
+            if not payload or payload.get("schema") != SCHEMA_VERSION:
+                continue
+            try:
+                job = job_from_dict(payload["job"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            yield StoredResult(key=key, job=job, payload=payload)
+
+    def query(
+        self,
+        *,
+        kind: str | None = None,
+        policy: str | None = None,
+        workload: str | None = None,
+        seed: int | None = None,
+        cores: int | None = None,
+        config_name: str | None = None,
+    ) -> Iterator[StoredResult]:
+        """Stored runs matching every given filter (``None`` = any).
+
+        ``policy`` matches the policy identity label (a registry name, or
+        a :meth:`~repro.policies.spec.PolicySpec.key` string for
+        parameterised policies); ``workload`` matches the workload name —
+        the benchmark name for ``alone`` records.
+        """
+        for record in self.records():
+            if kind is not None and record.kind != kind:
+                continue
+            if policy is not None and record.policy != policy:
+                continue
+            if workload is not None and record.workload != workload:
+                continue
+            if seed is not None and record.seed != seed:
+                continue
+            if cores is not None and record.cores != cores:
+                continue
+            if config_name is not None and record.config.name != config_name:
+                continue
+            yield record

@@ -6,10 +6,12 @@ Long-lived stores accumulate zero-copy trace buffers
 pure caches — deleting one only costs a regeneration — but nothing ever
 pruned them, so heavily-used stores grew without bound.
 
-``collect_garbage`` walks every stored result, recomputes the
-content-addressed buffer keys its job would use today (same trace-chunk
-budget, same capture slack), and removes every buffer file no stored
-result references.  Exposed as ``repro-experiments traces gc``.
+``collect_garbage`` walks every stored result (via the store's typed
+:meth:`~repro.runner.store.ResultStore.records` API — this module knows
+nothing about the on-disk JSON layout), recomputes the content-addressed
+buffer keys its job would use today (same trace-chunk budget, same capture
+slack), and removes every buffer file no stored result references.
+Exposed as ``repro-experiments traces gc``.
 """
 
 from __future__ import annotations
@@ -18,7 +20,6 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.runner.jobs import job_from_dict
 from repro.runner.store import ResultStore
 
 #: Orphaned ``.tmp`` files (crashed atomic writes) younger than this are
@@ -65,14 +66,8 @@ def _referenced(store: ResultStore) -> tuple[int, set[str], set[tuple]]:
     scanned = 0
     names: set[str] = set()
     identities: set[tuple] = set()
-    for key in store.keys():
-        payload = store.get(key)
-        if not payload:
-            continue
-        try:
-            job = job_from_dict(payload["job"])
-        except (KeyError, TypeError, ValueError):
-            continue
+    for record in store.records():
+        job = record.job
         scanned += 1
         for name, geometry, core_id, seed, n_chunks in _job_trace_identities(job):
             names.add(f"{trace_key(name, geometry, core_id, seed, n_chunks)}.npy")

@@ -1,0 +1,146 @@
+"""Report aggregation against synthetic stores with hand-known metrics.
+
+Solo IPCs are pinned to 1.0 by the conftest helpers, so every workload
+cell's weighted speed-up is just the sum of the shared IPCs the test
+chose, and the relative numbers below are exact.
+"""
+
+import pytest
+
+from repro.policies.spec import PolicySpec
+from repro.report.aggregate import gather, report_from_store
+from repro.util.stats import geometric_mean
+
+
+class TestGather:
+    def test_cell_metrics_are_exact(self, synth):
+        synth.put_suite(
+            policy_ipcs={"tadrrip": (1.0, 1.0, 1.0, 1.0), "lru": (0.9, 0.9, 0.9, 0.9)}
+        )
+        data = gather(synth.store)
+        assert data.policies == ["lru", "tadrrip"]
+        lru = next(c for c in data.cells if c.policy == "lru")
+        base = next(c for c in data.cells if c.policy == "tadrrip")
+        assert base.ws == pytest.approx(4.0)
+        assert base.rel_ws == pytest.approx(1.0)
+        assert lru.ws == pytest.approx(3.6)
+        assert lru.rel_ws == pytest.approx(0.9)
+
+    def test_llc_mpki_mean(self, synth):
+        synth.put_suite(
+            policy_ipcs={"tadrrip": (1.0,) * 4}, llc_misses={"tadrrip": 25}
+        )
+        data = gather(synth.store)
+        # instructions=1000 per core, so mpki == the injected miss count.
+        assert data.cells[0].llc_mpki == pytest.approx(25.0)
+
+    def test_missing_alone_baseline_skips_and_counts(self, synth):
+        synth.put_workload(policy="tadrrip")  # no put_alone at all
+        data = gather(synth.store)
+        assert data.cells == []
+        assert data.skipped_no_alone == 1
+
+    def test_missing_baseline_policy_skips_the_group(self, synth):
+        for benchmark in synth.pool:
+            synth.put_alone(benchmark)
+        synth.put_workload(policy="lru")
+        synth.put_workload(policy="ship")
+        data = gather(synth.store)
+        assert data.cells == []
+        assert data.skipped_no_baseline == 2
+
+    def test_parameterised_policies_skipped(self, synth):
+        synth.put_suite(policy_ipcs={"tadrrip": (1.0,) * 4})
+        synth.put_workload(policy=PolicySpec.of("adapt_bp32", bypass_prob=0.125))
+        data = gather(synth.store)
+        assert data.skipped_parameterised == 1
+        assert data.policies == ["tadrrip"]
+
+    def test_identities_are_sorted_and_cover_budgets(self, synth):
+        synth.put_suite(policy_ipcs={"tadrrip": (1.0,) * 4, "lru": (0.9,) * 4})
+        data = gather(synth.store)
+        assert data.identities == sorted(data.identities)
+        assert len(data.identities) == 2
+        assert all("q800" in i and "w200" in i for i in data.identities)
+
+    def test_seeds_and_workloads_enumerated(self, synth):
+        synth.put_suite(
+            policy_ipcs={"tadrrip": (1.0,) * 4},
+            workloads=("mix-0", "mix-1"),
+            seeds=(0, 3),
+        )
+        data = gather(synth.store)
+        assert data.seeds == [0, 3]
+        assert data.workloads == ["mix-0", "mix-1"]
+        assert len(data.cells) == 4
+
+
+class TestAggregate:
+    def test_ranking_is_best_first(self, synth):
+        synth.put_suite(
+            policy_ipcs={
+                "tadrrip": (1.0,) * 4,
+                "lru": (0.9,) * 4,
+                "ship": (1.1,) * 4,
+            }
+        )
+        report = report_from_store(synth.store, n_resamples=50)
+        assert [s.policy for s in report.summaries] == ["ship", "tadrrip", "lru"]
+
+    def test_geomean_over_workloads(self, synth):
+        # Two workloads with different rel-WS: geomean of 1.2 and 0.9.
+        for benchmark in synth.pool:
+            synth.put_alone(benchmark)
+        synth.put_workload(workload="mix-0", policy="tadrrip", ipcs=(1.0,) * 4)
+        synth.put_workload(workload="mix-1", policy="tadrrip", ipcs=(1.0,) * 4)
+        synth.put_workload(workload="mix-0", policy="ship", ipcs=(1.2,) * 4)
+        synth.put_workload(workload="mix-1", policy="ship", ipcs=(0.9,) * 4)
+        report = report_from_store(synth.store, n_resamples=50)
+        ship = report.summary_for("ship")
+        assert ship.cells == 2
+        assert ship.rel_ws_geomean == pytest.approx(geometric_mean([1.2, 0.9]))
+
+    def test_ci_brackets_the_geomean(self, synth):
+        synth.put_suite(
+            policy_ipcs={"tadrrip": (1.0,) * 4, "ship": (1.05,) * 4},
+            workloads=("mix-0", "mix-1", "mix-2"),
+            seeds=(0, 1),
+        )
+        report = report_from_store(synth.store, n_resamples=200)
+        ship = report.summary_for("ship")
+        lo, hi = ship.rel_ws_ci
+        assert lo <= ship.rel_ws_geomean <= hi
+
+    def test_win_matrix_total_order(self, synth):
+        synth.put_suite(
+            policy_ipcs={
+                "tadrrip": (1.0,) * 4,
+                "lru": (0.9,) * 4,
+                "ship": (1.1,) * 4,
+            },
+            workloads=("mix-0", "mix-1"),
+        )
+        report = report_from_store(synth.store, n_resamples=50)
+        assert report.win_matrix["ship"]["lru"] == pytest.approx(1.0)
+        assert report.win_matrix["ship"]["tadrrip"] == pytest.approx(1.0)
+        assert report.win_matrix["lru"]["ship"] == pytest.approx(0.0)
+        assert report.summary_for("ship").win_rate == pytest.approx(1.0)
+        assert report.summary_for("tadrrip").win_rate == pytest.approx(0.5)
+        assert report.summary_for("lru").win_rate == pytest.approx(0.0)
+
+    def test_ties_count_half(self, synth):
+        synth.put_suite(
+            policy_ipcs={"tadrrip": (1.0,) * 4, "drrip": (1.0,) * 4}
+        )
+        report = report_from_store(synth.store, n_resamples=50)
+        assert report.win_matrix["drrip"]["tadrrip"] == pytest.approx(0.5)
+
+    def test_summary_for_unknown_policy(self, synth):
+        synth.put_suite(policy_ipcs={"tadrrip": (1.0,) * 4})
+        report = report_from_store(synth.store, n_resamples=50)
+        assert report.summary_for("nope") is None
+
+    def test_empty_store_yields_empty_report(self, store):
+        report = report_from_store(store, n_resamples=50)
+        assert report.summaries == []
+        assert report.data.cells == []

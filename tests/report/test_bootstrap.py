@@ -1,0 +1,98 @@
+"""Bootstrap-interval maths on hand-known inputs."""
+
+import math
+
+import pytest
+
+from repro.report.stats import bootstrap_ci, cluster_bootstrap_ci, outside_interval
+from repro.util.stats import arithmetic_mean, geometric_mean
+
+
+class TestBootstrapCi:
+    def test_constant_values_collapse_to_a_point(self):
+        lo, hi = bootstrap_ci([2.0, 2.0, 2.0, 2.0])
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(2.0)
+
+    def test_single_observation_degenerates(self):
+        lo, hi = bootstrap_ci([3.0])
+        assert lo == hi == pytest.approx(3.0)
+
+    def test_interval_brackets_the_point_estimate(self):
+        values = [0.9, 1.0, 1.05, 1.1, 1.2, 0.95]
+        lo, hi = bootstrap_ci(values)
+        point = geometric_mean(values)
+        assert lo <= point <= hi
+        assert lo < hi
+
+    def test_deterministic_across_calls(self):
+        values = [1.0, 1.1, 0.9, 1.3]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_seed_changes_the_resampling(self):
+        values = [1.0, 1.1, 0.9, 1.3, 1.05, 0.87]
+        assert bootstrap_ci(values, seed=0) != bootstrap_ci(values, seed=1)
+
+    def test_wider_confidence_widens_the_interval(self):
+        values = [1.0, 1.1, 0.9, 1.3, 1.05, 0.87]
+        lo99, hi99 = bootstrap_ci(values, confidence=0.99)
+        lo80, hi80 = bootstrap_ci(values, confidence=0.80)
+        assert lo99 <= lo80 and hi80 <= hi99
+
+    def test_custom_statistic(self):
+        values = [1.0, 2.0, 3.0]
+        lo, hi = bootstrap_ci(values, stat=arithmetic_mean)
+        assert lo <= arithmetic_mean(values) <= hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+
+
+class TestClusterBootstrap:
+    def test_two_identical_clusters_collapse(self):
+        lo, hi = cluster_bootstrap_ci([[1.5, 1.5], [1.5, 1.5]])
+        assert lo == pytest.approx(1.5)
+        assert hi == pytest.approx(1.5)
+
+    def test_cluster_spread_dominates_interval(self):
+        """Between-cluster variance must show up even when each cluster is
+        internally constant (the whole point of clustering by seed)."""
+        tight = cluster_bootstrap_ci([[1.0, 1.0], [1.0, 1.0]])
+        spread = cluster_bootstrap_ci([[0.8, 0.8], [1.25, 1.25]])
+        assert (spread[1] - spread[0]) > (tight[1] - tight[0])
+
+    def test_single_cluster_falls_back_to_per_value_resampling(self):
+        values = [0.9, 1.0, 1.1, 1.2]
+        assert cluster_bootstrap_ci([values]) == bootstrap_ci(values)
+
+    def test_point_estimate_is_pooled_geomean(self):
+        groups = [[1.0, 4.0], [2.0]]
+        lo, hi = cluster_bootstrap_ci(groups)
+        assert lo <= geometric_mean([1.0, 4.0, 2.0]) <= hi
+
+    def test_empty_groups_dropped(self):
+        assert cluster_bootstrap_ci([[], [2.0], []]) == (2.0, 2.0)
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_bootstrap_ci([[], []])
+
+
+class TestOutsideInterval:
+    def test_boundaries_are_inside(self):
+        assert not outside_interval(1.0, (1.0, 2.0))
+        assert not outside_interval(2.0, (1.0, 2.0))
+        assert not outside_interval(1.5, (1.0, 2.0))
+
+    def test_outside_both_sides(self):
+        assert outside_interval(0.99, (1.0, 2.0))
+        assert outside_interval(2.01, (1.0, 2.0))
+
+    def test_nan_is_not_outside(self):
+        # NaN comparisons are all False: treated as "cannot conclude".
+        assert not outside_interval(math.nan, (1.0, 2.0))

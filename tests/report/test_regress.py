@@ -1,0 +1,146 @@
+"""Snapshot build/load round-trips and the regression detector."""
+
+import copy
+
+import pytest
+
+from repro.report import (
+    build_snapshot,
+    compare,
+    config_hash,
+    load_snapshot,
+    report_from_store,
+    write_snapshot,
+)
+
+
+@pytest.fixture
+def report(synth):
+    synth.put_suite(
+        policy_ipcs={
+            "tadrrip": (1.0,) * 4,
+            "lru": (0.9,) * 4,
+            "ship": (1.1,) * 4,
+        },
+        workloads=("mix-0", "mix-1"),
+        seeds=(0, 1),
+    )
+    return report_from_store(synth.store, n_resamples=100)
+
+
+@pytest.fixture
+def snapshot(report):
+    return build_snapshot(report)
+
+
+class TestSnapshot:
+    def test_shape(self, report, snapshot):
+        assert snapshot["schema"] == 1
+        assert snapshot["baseline"] == "tadrrip"
+        assert snapshot["seeds"] == [0, 1]
+        assert snapshot["workload_slots"] == ["mix-0", "mix-1"]
+        assert snapshot["cells"] == 12
+        assert snapshot["config_hash"] == config_hash(report)
+        assert snapshot["run_id"].startswith("tournament-")
+        assert snapshot["kernel"] is None
+
+    def test_policy_rows_follow_ranking(self, report, snapshot):
+        rows = snapshot["policies"]
+        assert set(rows) == {"tadrrip", "lru", "ship"}
+        assert rows["ship"]["rank"] == 1
+        assert rows["lru"]["rank"] == 3
+        assert rows["ship"]["rel_ws_geomean"] == pytest.approx(1.1)
+        lo, hi = rows["ship"]["rel_ws_ci"]
+        assert lo <= 1.1 <= hi
+
+    def test_write_load_round_trip(self, snapshot, tmp_path):
+        path = write_snapshot(snapshot, tmp_path / "BENCH_tournament.json")
+        assert load_snapshot(path) == snapshot
+        assert path.read_text().endswith("\n")
+
+    def test_load_rejects_unknown_schema(self, snapshot, tmp_path):
+        snapshot["schema"] = 99
+        path = write_snapshot(snapshot, tmp_path / "bad.json")
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+    def test_config_hash_ignores_metric_values(self, synth):
+        synth.put_suite(policy_ipcs={"tadrrip": (1.0,) * 4, "lru": (0.9,) * 4})
+        first = config_hash(report_from_store(synth.store, n_resamples=50))
+        # Overwrite lru with different IPCs: same identities, new numbers.
+        synth.put_workload(policy="lru", ipcs=(0.7,) * 4)
+        second = config_hash(report_from_store(synth.store, n_resamples=50))
+        assert first == second
+
+    def test_config_hash_tracks_the_grid(self, synth):
+        synth.put_suite(policy_ipcs={"tadrrip": (1.0,) * 4})
+        first = config_hash(report_from_store(synth.store, n_resamples=50))
+        synth.put_suite(policy_ipcs={"lru": (0.9,) * 4})
+        second = config_hash(report_from_store(synth.store, n_resamples=50))
+        assert first != second
+
+
+class TestCompare:
+    def test_identical_snapshots_stay_silent(self, snapshot):
+        diff = compare(snapshot, copy.deepcopy(snapshot))
+        assert diff.comparable
+        assert not diff.has_regressions
+        assert not diff.improvements
+        assert len(diff.movements) == 3
+        assert "no significant movement" in diff.render()
+
+    def test_injected_regression_is_flagged(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["policies"]["ship"]["rel_ws_geomean"] *= 1.05
+        diff = compare(snapshot, baseline)
+        assert diff.has_regressions
+        assert [m.policy for m in diff.regressions] == ["ship"]
+        assert "REGRESSION: ship" in diff.render()
+
+    def test_improvement_is_significant_but_not_a_regression(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["policies"]["ship"]["rel_ws_geomean"] *= 0.95
+        diff = compare(snapshot, baseline)
+        assert not diff.has_regressions
+        assert [m.policy for m in diff.improvements] == ["ship"]
+        assert "improvement: ship" in diff.render()
+
+    def test_sub_threshold_movement_ignored(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["policies"]["ship"]["rel_ws_geomean"] *= 1.005
+        diff = compare(snapshot, baseline)
+        assert not diff.has_regressions
+
+    def test_movement_inside_ci_ignored(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        row = baseline["policies"]["ship"]
+        row["rel_ws_geomean"] *= 1.05
+        # Widen the *current* CI so the moved baseline still falls inside.
+        snapshot["policies"]["ship"]["rel_ws_ci"] = [0.5, 2.0]
+        diff = compare(snapshot, baseline)
+        assert not diff.has_regressions
+
+    def test_threshold_is_tunable(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["policies"]["ship"]["rel_ws_geomean"] *= 1.05
+        diff = compare(snapshot, baseline, threshold=0.10)
+        assert not diff.has_regressions
+
+    def test_config_hash_mismatch_is_not_comparable(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["config_hash"] = "0" * 64
+        baseline["policies"]["ship"]["rel_ws_geomean"] *= 2.0
+        diff = compare(snapshot, baseline)
+        assert not diff.comparable
+        assert not diff.has_regressions
+        assert diff.movements == []
+        assert "NOT comparable" in diff.render()
+
+    def test_roster_changes_are_noted(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        del baseline["policies"]["lru"]
+        baseline["policies"]["belady"] = baseline["policies"]["ship"]
+        diff = compare(snapshot, baseline)
+        assert diff.added_policies == ["lru"]
+        assert diff.removed_policies == ["belady"]
+        assert any("lru" in note for note in diff.notes)

@@ -1,0 +1,92 @@
+"""End-to-end: tournament driver -> store -> report -> snapshot -> diff.
+
+Miniature budgets, two policies, two seeds — the full pipeline the
+acceptance flow exercises, on a test-sized grid.
+"""
+
+import copy
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.tournament import run_tournament
+from repro.report import (
+    build_snapshot,
+    compare,
+    report_from_store,
+)
+from repro.runner import ResultStore
+from repro.sim.config import SystemConfig
+
+TINY = ExperimentSettings(
+    quota=800,
+    warmup=200,
+    alone_quota=900,
+    alone_warmup=100,
+    workloads={4: 2},
+)
+
+
+@pytest.fixture(scope="module")
+def results_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("tournament")
+    run = run_tournament(
+        SystemConfig.scaled(4),
+        policies=("lru", "tadrrip"),
+        cores=(4,),
+        seeds=(0, 1),
+        jobs=1,
+        results_dir=out,
+        settings=TINY,
+    )
+    assert run.scheduled == 2 * 2 * 2  # policies x workloads x seeds
+    assert run.executed > 0
+    return out
+
+
+def test_rerun_is_fully_cached(results_dir):
+    again = run_tournament(
+        SystemConfig.scaled(4),
+        policies=("lru", "tadrrip"),
+        cores=(4,),
+        seeds=(0, 1),
+        jobs=1,
+        results_dir=results_dir,
+        settings=TINY,
+    )
+    assert again.executed == 0
+    # Hits cover the workload grid plus the shared IPC_alone baselines.
+    assert again.store_hits >= again.scheduled
+
+
+def test_report_covers_the_grid(results_dir):
+    report = report_from_store(ResultStore(results_dir), n_resamples=100)
+    assert len(report.data.cells) == 8
+    assert report.data.seeds == [0, 1]
+    assert report.data.policies == ["lru", "tadrrip"]
+    base = report.summary_for("tadrrip")
+    assert base.rel_ws_geomean == pytest.approx(1.0)
+    assert base.rel_ws_ci == pytest.approx((1.0, 1.0))
+    lru = report.summary_for("lru")
+    assert lru.cells == 4
+    assert lru.ws_geomean > 0
+    lo, hi = lru.rel_ws_ci
+    assert lo <= lru.rel_ws_geomean <= hi
+
+
+def test_snapshot_round_trip_and_regression(results_dir):
+    report = report_from_store(ResultStore(results_dir), n_resamples=100)
+    snapshot = build_snapshot(report)
+    assert snapshot["cells"] == 8
+    assert set(snapshot["policies"]) == {"lru", "tadrrip"}
+
+    # A deterministic rerun reproduces the snapshot: the diff is silent.
+    clean = compare(snapshot, copy.deepcopy(snapshot))
+    assert clean.comparable and not clean.has_regressions
+
+    # Inflate lru's recorded baseline: the detector must flag the drop.
+    doctored = copy.deepcopy(snapshot)
+    doctored["policies"]["lru"]["rel_ws_geomean"] *= 1.10
+    diff = compare(snapshot, doctored)
+    assert diff.comparable
+    assert [m.policy for m in diff.regressions] == ["lru"]

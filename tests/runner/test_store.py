@@ -249,3 +249,89 @@ class TestJobs:
         job = self._job(tiny_config)
         direct = run_workload(MIX, tiny_config, "lru", quota=800, warmup=200)
         assert job.execute() == direct
+
+
+class TestQueryApi:
+    """The typed records()/query() layer the report + tracegc consume."""
+
+    def _persist(self, store, job):
+        result = job.execute()
+        store.put(
+            job.cache_key(),
+            {
+                "schema": 1,
+                "kind": job.kind,
+                "job": job.to_dict(),
+                "result": result.to_dict(),
+            },
+        )
+        return result
+
+    def _workload_job(self, tiny_config, **overrides) -> WorkloadJob:
+        kwargs = dict(
+            workload_name=MIX.name,
+            benchmarks=MIX.benchmarks,
+            config=tiny_config,
+            policy="lru",
+            quota=200,
+            warmup=0,
+            master_seed=0,
+        )
+        kwargs.update(overrides)
+        return WorkloadJob(**kwargs)
+
+    def test_records_decode_jobs_and_results(self, store, tiny_config):
+        job = self._workload_job(tiny_config)
+        stored = self._persist(store, job)
+        records = list(store.records())
+        assert len(records) == 1
+        record = records[0]
+        assert record.key == job.cache_key()
+        assert record.kind == "workload"
+        assert record.policy == "lru"
+        assert record.workload == MIX.name
+        assert record.benchmarks == MIX.benchmarks
+        assert record.seed == 0
+        assert record.cores == tiny_config.num_cores
+        assert record.result() == stored
+
+    def test_records_skip_schema_drift_and_junk(self, store, tiny_config):
+        self._persist(store, self._workload_job(tiny_config))
+        store.put("aa001", {"schema": 999, "kind": "workload", "job": {}})
+        store.put("bb002", {"schema": 1, "kind": "quantum", "job": {"kind": "quantum"}})
+        store.put("cc003", {"no": "schema"})
+        assert len(store) == 4
+        assert len(list(store.records())) == 1
+
+    def test_query_filters(self, store, tiny_config):
+        self._persist(store, self._workload_job(tiny_config))
+        self._persist(store, self._workload_job(tiny_config, policy="srrip"))
+        self._persist(store, self._workload_job(tiny_config, master_seed=1))
+        alone = AloneJob(
+            benchmark="lbm",
+            config=tiny_config.with_cores(1),
+            policy="lru",
+            quota=200,
+            warmup=0,
+            master_seed=0,
+        )
+        self._persist(store, alone)
+
+        assert len(list(store.query())) == 4
+        assert len(list(store.query(kind="workload"))) == 3
+        assert len(list(store.query(kind="alone"))) == 1
+        assert len(list(store.query(policy="srrip"))) == 1
+        assert len(list(store.query(policy="lru", seed=0))) == 2
+        assert len(list(store.query(cores=1))) == 1
+        by_name = list(store.query(config_name=tiny_config.name))
+        assert len(by_name) == 3
+        # Alone records expose their benchmark as the workload name.
+        assert next(store.query(kind="alone")).workload == "lbm"
+        assert list(store.query(workload="nope")) == []
+
+    def test_query_labels_parameterised_policies(self, store, tiny_config):
+        spec = PolicySpec.of("tadrrip", leader_sets=64)
+        self._persist(store, self._workload_job(tiny_config, policy=spec))
+        record = next(store.query(kind="workload"))
+        assert record.policy == policy_key(spec)
+        assert record.job.policy == spec

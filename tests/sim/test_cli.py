@@ -1,8 +1,12 @@
 """Tests for the `python -m repro.experiments` CLI."""
 
+import dataclasses
+
 import pytest
 
+import repro.experiments.tournament
 from repro.experiments.__main__ import main
+from repro.experiments.cli import COMMANDS, build_parser, register_command
 
 
 class TestCli:
@@ -26,3 +30,121 @@ class TestCli:
     def test_unknown_experiment_exits(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "command" in capsys.readouterr().err
+
+    def test_table6_honours_seed(self, capsys):
+        assert main(["table6", "--seed", "2"]) == 0
+        assert "workload design" in capsys.readouterr().out
+
+
+#: Minimal extra argv for commands with required positionals.
+POSITIONALS = {"profile": ["fig3"], "traces": ["gc"]}
+
+
+def _stub_command(monkeypatch, name, rc=0):
+    """Replace *name*'s handler, recording the namespaces it receives."""
+    calls = []
+
+    def run(args):
+        calls.append(args)
+        return rc
+
+    monkeypatch.setitem(
+        COMMANDS, name, dataclasses.replace(COMMANDS[name], run=run)
+    )
+    return calls
+
+
+class TestRegistry:
+    def test_every_command_parses_its_minimal_argv(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name, *POSITIONALS.get(name, [])])
+            assert args.command == name
+
+    def test_expected_roster_is_registered(self):
+        for name in ("fig3", "table2", "tournament", "report", "golden",
+                     "profile", "traces", "list"):
+            assert name in COMMANDS
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_command("list")(lambda args: 0)
+
+    def test_dispatch_uses_the_live_registry(self, monkeypatch):
+        calls = _stub_command(monkeypatch, "fig3", rc=7)
+        assert main(["fig3", "--seed", "3", "--jobs", "2"]) == 7
+        assert calls[0].seed == 3 and calls[0].jobs == 2
+
+    def test_legacy_spellings_dispatch(self, monkeypatch):
+        for argv in (["fig3"], ["golden", "--regen"], ["profile", "fig3"],
+                     ["traces", "gc", "--dry-run"]):
+            calls = _stub_command(monkeypatch, argv[0])
+            assert main(argv) == 0
+            assert len(calls) == 1
+
+    def test_per_command_flags_are_not_global(self):
+        # Each of these flags exists on exactly one other command; using it
+        # elsewhere is a usage error instead of being silently ignored.
+        for argv in (
+            ["fig3", "--regen"],
+            ["golden", "--dry-run"],
+            ["table2", "--seed", "1"],
+            ["fig3", "--top", "10"],
+            ["report", "--regen"],
+        ):
+            with pytest.raises(SystemExit) as err:
+                main(argv)
+            assert err.value.code == 2
+
+    def test_simulated_commands_expose_seed_and_store_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fig3", "--seed", "4", "--results-dir", "", "--no-cache"]
+        )
+        assert args.seed == 4 and args.no_cache and args.results_dir == ""
+
+
+class TestTournamentCommand:
+    def test_unknown_policy_is_a_usage_error(self, capsys, tmp_path):
+        rc = main([
+            "tournament", "--policies", "not-a-policy",
+            "--results-dir", str(tmp_path),
+        ])
+        assert rc == 2
+        assert "not-a-policy" in capsys.readouterr().err
+
+    def test_seeds_must_be_positive(self, capsys):
+        assert main(["tournament", "--seeds", "0"]) == 2
+
+    def test_seed_offsets_the_swept_range(self, monkeypatch, capsys, tmp_path):
+        seen = {}
+
+        def fake_run_tournament(**kwargs):
+            seen.update(kwargs)
+            return repro.experiments.tournament.TournamentRun(
+                policies=("tadrrip",), cores=(4,), seeds=kwargs["seeds"]
+            )
+
+        monkeypatch.setattr(
+            repro.experiments.tournament, "run_tournament", fake_run_tournament
+        )
+        rc = main([
+            "tournament", "--seed", "5", "--seeds", "2",
+            "--results-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        assert seen["seeds"] == (5, 6)
+
+
+class TestReportCommand:
+    def test_empty_store_exits_2(self, capsys, tmp_path):
+        rc = main(["report", "--results-dir", str(tmp_path / "results")])
+        assert rc == 2
+        assert "no tournament cells" in capsys.readouterr().err
+
+    def test_no_store_exits_2(self, capsys):
+        assert main(["report", "--results-dir", ""]) == 2
