@@ -13,8 +13,10 @@ Three families share the :mod:`repro.experiments.cli` registry:
 * **the tournament pipeline** — ``tournament`` (schedule all policies x
   workloads x seeds into the store) and ``report`` (aggregate the store
   into ranked tables, write the ``BENCH_tournament.json`` snapshot, and
-  optionally diff a baseline snapshot, exiting non-zero on significant
-  regression).
+  optionally diff a baseline snapshot: exit 1 on significant regression,
+  exit 3 when the snapshots are not comparable).  When ``--out`` and
+  ``--baseline`` resolve to the same file the committed baseline is kept,
+  never overwritten.
 
 Every command builds its budgets from ``REPRO_SCALE`` exactly like the
 pytest benches, and every simulation-backed command shares one memoising
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import replace
+from pathlib import Path
 
 from repro.experiments.cli import (
     add_seed_flag,
@@ -246,7 +249,8 @@ def _configure_report(parser) -> None:
         "--baseline",
         default=None,
         metavar="SNAPSHOT",
-        help="diff against this committed snapshot; exit 1 on significant regression",
+        help="diff against this committed snapshot; exit 1 on significant "
+        "regression, 3 when the snapshots are not comparable",
     )
     parser.add_argument(
         "--baseline-policy",
@@ -294,6 +298,16 @@ def _cmd_report(args) -> int:
     if not args.results_dir:
         print("report needs a persistent store (--results-dir)", file=sys.stderr)
         return 2
+    # Read the baseline before anything is written: with the default --out
+    # (BENCH_tournament.json) both flags name the committed snapshot, and
+    # writing first would clobber it and then diff the run against itself.
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_snapshot(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"report: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
     store = ResultStore(args.results_dir)
     report = report_from_store(
         store,
@@ -311,14 +325,17 @@ def _cmd_report(args) -> int:
     kernel = None if args.no_kernel else measure_kernel_throughput()
     snapshot = build_snapshot(report, kernel=kernel)
     if args.out:
-        path = write_snapshot(snapshot, args.out)
-        print(f"snapshot written to {path}", file=sys.stderr)
-    if args.baseline:
-        try:
-            baseline = load_snapshot(args.baseline)
-        except (OSError, ValueError) as exc:
-            print(f"report: cannot read baseline: {exc}", file=sys.stderr)
-            return 2
+        if args.baseline and Path(args.out).resolve() == Path(args.baseline).resolve():
+            print(
+                f"report: --out and --baseline both name {args.out}; keeping "
+                "the committed baseline (pass a different --out to also "
+                "write the fresh snapshot)",
+                file=sys.stderr,
+            )
+        else:
+            path = write_snapshot(snapshot, args.out)
+            print(f"snapshot written to {path}", file=sys.stderr)
+    if baseline is not None:
         verdict = compare(
             snapshot,
             baseline,
@@ -326,6 +343,8 @@ def _cmd_report(args) -> int:
         )
         print()
         print(verdict.render())
+        if not verdict.comparable:
+            return 3
         if verdict.has_regressions:
             return 1
     return 0

@@ -12,7 +12,9 @@ need.  This module turns those raw records into ranked statistics:
   with a seed-clustered bootstrap confidence interval
   (:mod:`repro.report.stats`);
 * a head-to-head win matrix — for every policy pair, the share of common
-  cells where the row policy beats the column policy.
+  cells where the row policy beats the column policy, or ``None`` when
+  the pair shares no cells (rendered ``-``, excluded from win rates — a
+  genuine 50% tie and "never met" must stay distinguishable).
 
 Everything is read through the store's typed query API
 (:meth:`~repro.runner.store.ResultStore.query`); this module has no
@@ -94,8 +96,10 @@ class PolicySummary:
     rel_ws_ci: tuple[float, float]
     ws_geomean: float
     llc_mpki_mean: float
-    #: Mean head-to-head score against every other policy (ties count half).
-    win_rate: float
+    #: Mean head-to-head score against every other policy (ties count
+    #: half); pairs with no common cells are excluded, ``None`` when the
+    #: policy shares cells with no other policy at all.
+    win_rate: float | None
 
 
 @dataclass
@@ -104,7 +108,7 @@ class TournamentReport:
 
     data: TournamentData
     summaries: list[PolicySummary]  # ranked best-first by rel_ws_geomean
-    win_matrix: dict[str, dict[str, float]]
+    win_matrix: dict[str, dict[str, float | None]]
 
     def summary_for(self, policy: str) -> PolicySummary | None:
         for summary in self.summaries:
@@ -206,8 +210,9 @@ def gather(store: ResultStore, baseline: str = DEFAULT_BASELINE) -> TournamentDa
     return data
 
 
-def _win_matrix(data: TournamentData) -> dict[str, dict[str, float]]:
-    """Pairwise head-to-head scores over common (workload, seed) cells."""
+def _win_matrix(data: TournamentData) -> dict[str, dict[str, float | None]]:
+    """Pairwise head-to-head scores over common (workload, seed) cells;
+    ``None`` for pairs that never met in the same group."""
     by_group: dict[tuple, dict[str, float]] = {}
     for cell in data.cells:
         by_group.setdefault(cell.group_key(), {})[cell.policy] = cell.ws
@@ -229,7 +234,7 @@ def _win_matrix(data: TournamentData) -> dict[str, dict[str, float]]:
                     scores[b][a] += 0.5
     return {
         a: {
-            b: (scores[a][b] / counts[a][b]) if counts[a][b] else 0.5
+            b: (scores[a][b] / counts[a][b]) if counts[a][b] else None
             for b in policies
             if b != a
         }
@@ -259,7 +264,7 @@ def aggregate(
             confidence=confidence,
             n_resamples=n_resamples,
         )
-        opponents = win_matrix.get(policy, {})
+        met = [v for v in win_matrix.get(policy, {}).values() if v is not None]
         summaries.append(
             PolicySummary(
                 policy=policy,
@@ -268,9 +273,7 @@ def aggregate(
                 rel_ws_ci=ci,
                 ws_geomean=geometric_mean([c.ws for c in cells]),
                 llc_mpki_mean=arithmetic_mean([c.llc_mpki for c in cells]),
-                win_rate=(
-                    arithmetic_mean(list(opponents.values())) if opponents else 0.5
-                ),
+                win_rate=arithmetic_mean(met) if met else None,
             )
         )
     summaries.sort(key=lambda s: (-s.rel_ws_geomean, s.policy))

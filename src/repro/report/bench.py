@@ -19,7 +19,8 @@ Snapshot schema (``schema`` bumps on incompatible change)::
       "policies": {
         "<name>": {"rank": 1, "cells": 4, "rel_ws_geomean": ...,
                     "rel_ws_ci": [lo, hi], "ws_geomean": ...,
-                    "llc_mpki_mean": ..., "win_rate": ...}
+                    "llc_mpki_mean": ...,
+                    "win_rate": ...}   # null: no head-to-head data
       },
       "kernel": {"hot_loop_accesses_per_second": ..., "accesses": ...}
     }

@@ -18,11 +18,13 @@ Two snapshots are only *comparable* when their ``config_hash`` matches —
 same policy roster, workload slots, platforms, seeds and budgets.  A
 mismatch (someone reshaped the tournament without regenerating the
 committed snapshot) is reported loudly but is not a regression: there is
-nothing meaningful to diff.
+nothing meaningful to diff, and the ``report`` command exits with its own
+code (3) so CI fails until the snapshot is regenerated.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.report.stats import outside_interval
@@ -48,6 +50,11 @@ class Movement:
 
     @property
     def delta_rel(self) -> float:
+        """Relative movement; signed infinity off a zero baseline value
+        (a pathological snapshot), so any change from zero is flagged
+        rather than crashing the report."""
+        if self.baseline_value == 0:
+            return 0.0 if self.delta == 0 else math.copysign(math.inf, self.delta)
         return self.delta / self.baseline_value
 
     @property

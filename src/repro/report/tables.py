@@ -7,7 +7,7 @@ Three views over one :class:`~repro.report.aggregate.TournamentReport`:
 * the **per-workload breakdown** — rel-WS geomeans per (policy, workload
   slot), the view that shows *where* a policy earns its rank;
 * the **head-to-head win matrix** — the share of common cells where the
-  row policy beats the column policy.
+  row policy beats the column policy (``-`` for pairs that share none).
 
 All three are plain monospace tables in the style of the paper-figure
 renderers, so ``repro-experiments report`` output diffs cleanly in CI
@@ -34,10 +34,11 @@ def render_ranked(report: TournamentReport) -> str:
     ]
     for rank, s in enumerate(report.summaries, start=1):
         lo, hi = s.rel_ws_ci
+        win = f"{s.win_rate * 100:>5.1f}" if s.win_rate is not None else f"{'-':>5}"
         lines.append(
             f"{rank:>4}  {s.policy:<12} {s.rel_ws_geomean:>7.4f}  "
             f"[{lo:.4f}, {hi:.4f}]  {s.ws_geomean:>10.4f}  "
-            f"{s.llc_mpki_mean:>8.2f}  {s.win_rate * 100:>5.1f}  {s.cells:>5}"
+            f"{s.llc_mpki_mean:>8.2f}  {win}  {s.cells:>5}"
         )
     skipped = (
         data.skipped_parameterised + data.skipped_no_alone + data.skipped_no_baseline
@@ -89,10 +90,10 @@ def render_win_matrix(report: TournamentReport) -> str:
     for a in policies:
         row = [f"{a:<{name_width}}"]
         for b in policies:
-            if a == b:
-                row.append(f"{'-':>{col}}")
-            else:
-                row.append(f"{report.win_matrix[a][b] * 100:>{col}.1f}")
+            share = None if a == b else report.win_matrix[a][b]
+            row.append(
+                f"{'-':>{col}}" if share is None else f"{share * 100:>{col}.1f}"
+            )
         lines.append(" ".join(row))
     return "\n".join(lines)
 

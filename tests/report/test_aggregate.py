@@ -9,6 +9,7 @@ import pytest
 
 from repro.policies.spec import PolicySpec
 from repro.report.aggregate import gather, report_from_store
+from repro.report.tables import render_report, render_win_matrix
 from repro.util.stats import geometric_mean
 
 
@@ -134,6 +135,34 @@ class TestAggregate:
         )
         report = report_from_store(synth.store, n_resamples=50)
         assert report.win_matrix["drrip"]["tadrrip"] == pytest.approx(0.5)
+
+    def test_disjoint_pair_scores_none_and_skips_win_rate(self, synth):
+        # lru and ship never appear in the same group: no head-to-head
+        # score exists, which must not read as a 50% tie.
+        for benchmark in synth.pool:
+            synth.put_alone(benchmark)
+        synth.put_workload(workload="mix-0", policy="tadrrip", ipcs=(1.0,) * 4)
+        synth.put_workload(workload="mix-0", policy="lru", ipcs=(0.9,) * 4)
+        synth.put_workload(workload="mix-1", policy="tadrrip", ipcs=(1.0,) * 4)
+        synth.put_workload(workload="mix-1", policy="ship", ipcs=(1.1,) * 4)
+        report = report_from_store(synth.store, n_resamples=50)
+        assert report.win_matrix["lru"]["ship"] is None
+        assert report.win_matrix["ship"]["lru"] is None
+        assert report.win_matrix["lru"]["tadrrip"] == pytest.approx(0.0)
+        # The mean excludes the never-met pair instead of averaging in 0.5.
+        assert report.summary_for("lru").win_rate == pytest.approx(0.0)
+        assert report.summary_for("ship").win_rate == pytest.approx(1.0)
+        rendered = render_win_matrix(report)
+        lru_row = next(
+            line for line in rendered.splitlines() if line.startswith("lru")
+        )
+        assert lru_row.split().count("-") == 2  # the diagonal + ship
+
+    def test_single_policy_has_no_win_rate(self, synth):
+        synth.put_suite(policy_ipcs={"tadrrip": (1.0,) * 4})
+        report = report_from_store(synth.store, n_resamples=50)
+        assert report.summary_for("tadrrip").win_rate is None
+        assert "-" in render_report(report)
 
     def test_summary_for_unknown_policy(self, synth):
         synth.put_suite(policy_ipcs={"tadrrip": (1.0,) * 4})

@@ -1,9 +1,11 @@
 """Snapshot build/load round-trips and the regression detector."""
 
 import copy
+import math
 
 import pytest
 
+from repro.report.regress import Movement
 from repro.report import (
     build_snapshot,
     compare,
@@ -135,6 +137,25 @@ class TestCompare:
         assert not diff.has_regressions
         assert diff.movements == []
         assert "NOT comparable" in diff.render()
+
+    def test_zero_baseline_value_does_not_crash(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["policies"]["ship"]["rel_ws_geomean"] = 0.0
+        diff = compare(snapshot, baseline)
+        assert [m.policy for m in diff.improvements] == ["ship"]
+        assert math.isinf(diff.improvements[0].delta_rel)
+        assert "improvement: ship" in diff.render()
+
+    def test_zero_to_zero_baseline_is_no_movement(self):
+        movement = Movement(
+            policy="p",
+            baseline_value=0.0,
+            current_value=0.0,
+            current_ci=(0.0, 0.0),
+            threshold=0.01,
+        )
+        assert movement.delta_rel == 0.0
+        assert not movement.significant
 
     def test_roster_changes_are_noted(self, snapshot):
         baseline = copy.deepcopy(snapshot)

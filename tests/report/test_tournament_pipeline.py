@@ -5,9 +5,11 @@ acceptance flow exercises, on a test-sized grid.
 """
 
 import copy
+import json
 
 import pytest
 
+from repro.experiments.__main__ import main
 from repro.experiments.common import ExperimentSettings
 from repro.experiments.tournament import run_tournament
 from repro.report import (
@@ -72,6 +74,76 @@ def test_report_covers_the_grid(results_dir):
     assert lru.ws_geomean > 0
     lo, hi = lru.rel_ws_ci
     assert lo <= lru.rel_ws_geomean <= hi
+
+
+def _report_cli(results_dir, *extra):
+    return main(
+        ["report", "--results-dir", str(results_dir), "--no-kernel", *extra]
+    )
+
+
+@pytest.fixture
+def committed(results_dir, tmp_path):
+    """A committed-baseline snapshot written by the CLI itself."""
+    path = tmp_path / "BENCH_tournament.json"
+    assert _report_cli(results_dir, "--out", str(path)) == 0
+    return path
+
+
+class TestReportCliBaseline:
+    def test_unchanged_store_matches_the_baseline(
+        self, results_dir, committed, capsys
+    ):
+        original = committed.read_text()
+        rc = _report_cli(
+            results_dir, "--out", str(committed), "--baseline", str(committed)
+        )
+        assert rc == 0
+        assert "no significant movement" in capsys.readouterr().out
+        assert committed.read_text() == original  # clobber guard held
+
+    def test_baseline_is_read_before_out_clobbers_it(
+        self, results_dir, committed, capsys
+    ):
+        # Inject a regression into the committed baseline, then run the
+        # README invocation where --out defaults onto the same file: the
+        # regression must be detected (the doctored baseline read first,
+        # not the freshly written snapshot) and the file left untouched.
+        doctored = json.loads(committed.read_text())
+        doctored["policies"]["lru"]["rel_ws_geomean"] *= 1.10
+        committed.write_text(json.dumps(doctored))
+        rc = _report_cli(
+            results_dir, "--out", str(committed), "--baseline", str(committed)
+        )
+        assert rc == 1
+        assert "REGRESSION: lru" in capsys.readouterr().out
+        assert json.loads(committed.read_text()) == doctored
+
+    def test_distinct_out_still_written(self, results_dir, committed, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        rc = _report_cli(
+            results_dir, "--out", str(fresh), "--baseline", str(committed)
+        )
+        assert rc == 0
+        fresh_data = json.loads(fresh.read_text())
+        base_data = json.loads(committed.read_text())
+        fresh_data.pop("generated_utc")
+        base_data.pop("generated_utc")
+        assert fresh_data == base_data
+
+    def test_incomparable_snapshots_exit_3(self, results_dir, committed, capsys):
+        doctored = json.loads(committed.read_text())
+        doctored["config_hash"] = "0" * 64
+        committed.write_text(json.dumps(doctored))
+        rc = _report_cli(results_dir, "--out", "", "--baseline", str(committed))
+        assert rc == 3
+        assert "NOT comparable" in capsys.readouterr().out
+
+    def test_unreadable_baseline_exits_2(self, results_dir, tmp_path):
+        rc = _report_cli(
+            results_dir, "--out", "", "--baseline", str(tmp_path / "missing.json")
+        )
+        assert rc == 2
 
 
 def test_snapshot_round_trip_and_regression(results_dir):
