@@ -111,11 +111,15 @@ class CoreTape:
 class CaptureBundle:
     """A full platform capture: one :class:`CoreTape` per core plus meta."""
 
-    __slots__ = ("meta", "tapes")
+    __slots__ = ("meta", "tapes", "vec_cache")
 
     def __init__(self, meta: dict, tapes: list[CoreTape]) -> None:
         self.meta = meta
         self.tapes = tapes
+        #: Lazy policy-independent SoA decode planes, owned by
+        #: :mod:`repro.cpu.replay_vec` and shared by every policy in a
+        #: sweep (invalidated per core on live tape extension).
+        self.vec_cache: dict | None = None
 
 
 class PrivateCoreSim:

@@ -1,0 +1,1280 @@
+"""Array-native LLC replay kernel: the SoA tier of the replay family.
+
+The scalar replay kernel (:mod:`repro.cpu.replay`) already simulates only
+the shared LLC, but it still steps Python once per captured access to
+advance each core's clock and once per event to decode addresses.  This
+kernel keeps the *policy-visible* machinery bit-for-bit identical — the
+LLC residency structures, dispatch-plan state (RRPV/stack rows, SHCT,
+EAF, PSELs, monitors) and every hook call happen in the same order on the
+same objects, because policies read them mid-run — and vectorises the
+policy-*independent* planes of the replay:
+
+* **batched event decode** — set index, LLC bank, DRAM row and DRAM bank
+  for every captured event are decoded once per bundle into flat arrays
+  (exact integer ops), cached on the bundle and shared by every policy in
+  a sweep; group shapes (the common lone-demand fast path) are
+  precomputed the same way;
+* **vectorised clock walks** — the fused kernel's float clock recurrence
+  has a serial dependence (each stall term is rounded against the current
+  clock), so a plain prefix sum diverges bitwise.  The walker instead
+  *speculates* the stall sequence, replays it through one interleaved
+  ``np.cumsum`` (sequential accumulation — float-op order matches the
+  scalar loop exactly) and *verifies* the speculation elementwise,
+  keeping the verified prefix and re-speculating the tail.  A converged
+  trajectory is exact by induction; non-convergence (rare) falls back to
+  the scalar walk, so the result is always bit-identical;
+* **batched SHiP signatures** — the per-fill PC fold is a fixed-point
+  xor-fold, computed for all events at once per ``(policy geometry,
+  core)`` and cached on the bundle;
+* an optional **numba backend**: when numba is importable, the clock and
+  cut walks run as tiny ``@njit`` kernels (strict IEEE float semantics —
+  same bits as the Python loop) instead of the speculate-and-verify
+  walker.  Pure numpy is the always-available fallback.
+
+Selection mirrors the kill-switch family (documented order, machine-
+checked in ``tests/sim/test_kernel_selection.py``):
+
+1. ``REPRO_NO_FASTPATH`` — generic reference loop, no replay of any kind;
+2. else ``REPRO_NO_REPLAY`` — fused kernel, no replay of any kind;
+3. else ``REPRO_REPLAY_VEC`` set (non-empty, not ``0``) — this kernel for
+   replay-eligible runs.  The value selects the backend: ``numpy`` forces
+   the fallback, ``numba`` prefers the JIT (falling back to numpy when
+   numba is not installed), anything else (``1``) auto-detects;
+4. else — the scalar replay kernel.
+
+``REPRO_NO_SHARED_TRACES`` is orthogonal: it changes how trace buffers
+are materialised, never which kernel runs.
+
+Everything below the clock/decode planes mirrors
+:mod:`repro.cpu.replay` statement for statement; the 4-way golden
+differential suite machine-checks the equivalence on every fixture.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.cpu import capture as cap
+from repro.cpu import replay as _scalar
+from repro.cpu.core import CoreSnapshot
+from repro.cpu.fastpath import (
+    _ADAPT,
+    _CALL,
+    _EV_CALL,
+    _EV_EAF,
+    _EV_SHIP,
+    _MASK64,
+    _RRIP,
+    _SHIP,
+    _STACK,
+    resolve_llc_dispatch,
+)
+from repro.policies.base import BYPASS
+
+EV_WB0, EV_WB1, EV_ND = cap.EV_WB0, cap.EV_WB1, cap.EV_ND
+EV_DEMAND, EV_BASELINE, EV_SNAPSHOT = cap.EV_DEMAND, cap.EV_BASELINE, cap.EV_SNAPSHOT
+STEP_L2HIT, STEP_LLC = cap.STEP_L2HIT, cap.STEP_LLC
+
+#: Minimum inter-event segment length worth a vectorised walk (below this
+#: the numpy fixed overhead loses to the scalar loop).
+_VEC_MIN = 48
+
+#: Steps per chunk for the vectorised cut walk (the stop index is unknown
+#: in advance, so the trajectory is grown chunk by chunk).
+_CUT_CHUNK = 4096
+
+#: Speculation passes before the walker gives up on a segment.  Each pass
+#: extends the verified prefix by at least one step, and measured
+#: convergence is 1-3 passes for almost every segment.
+_MAX_PASSES = 6
+
+#: Consecutive non-converged segments before a core's walker self-disables
+#: for the rest of the run (pathological clock shapes stay scalar-speed
+#: instead of paying failed speculation passes forever).
+_FAIL_BUDGET = 3
+
+
+def replay_vec_requested() -> bool:
+    """Is ``REPRO_REPLAY_VEC`` set (non-empty and not ``0``)?"""
+    return os.environ.get("REPRO_REPLAY_VEC", "").strip().lower() not in ("", "0")
+
+
+def replay_vec_enabled() -> bool:
+    """Requested *and* not overridden by a stronger kill switch."""
+    return replay_vec_requested() and _scalar.replay_enabled()
+
+
+# -- the optional numba backend ------------------------------------------------
+
+#: ``"unknown"`` until the first resolution, then ``"ready"``/``"absent"``.
+_NUMBA_STATE = "unknown"
+_NJIT_SEEK = None
+_NJIT_CUT = None
+
+
+def _numba_walkers():
+    """The compiled ``(seek, cut)`` walkers, or ``None`` without numba."""
+    global _NUMBA_STATE, _NJIT_SEEK, _NJIT_CUT
+    if _NUMBA_STATE == "unknown":
+        try:
+            from numba import njit
+        except ImportError:
+            _NUMBA_STATE = "absent"
+        else:
+            # The exact scalar recurrences, compiled.  No fastmath: LLVM's
+            # default float add/mul/compare are strict IEEE-754, so these
+            # produce the same bits as the Python loops they mirror.
+            @njit(cache=True)
+            def _seek(steps, i, e, t, comp, imlp, l1_latency, l2_latency):
+                while i < e:
+                    if steps[i]:
+                        t_l2 = t + l1_latency
+                        done = t_l2 + l2_latency
+                        latency = done - t
+                        stall = latency - l1_latency
+                        if stall < 0.0:
+                            stall = 0.0
+                        t = t + comp + stall * imlp
+                    else:
+                        t = t + comp
+                    i += 1
+                return t
+
+            @njit(cache=True)
+            def _cut(steps, i, n, t, t_f, tie_lt, comp, imlp, l1_latency, l2_latency):
+                while t < t_f or (t == t_f and tie_lt):
+                    if i >= n:
+                        return i, t, False
+                    if steps[i]:
+                        t_l2 = t + l1_latency
+                        done = t_l2 + l2_latency
+                        latency = done - t
+                        stall = latency - l1_latency
+                        if stall < 0.0:
+                            stall = 0.0
+                        t = t + comp + stall * imlp
+                    else:
+                        t = t + comp
+                    i += 1
+                return i, t, True
+
+            _NJIT_SEEK, _NJIT_CUT = _seek, _cut
+            _NUMBA_STATE = "ready"
+    if _NUMBA_STATE == "ready":
+        return _NJIT_SEEK, _NJIT_CUT
+    return None
+
+
+def vec_backend() -> str:
+    """The backend this process would run: ``"numba"`` or ``"numpy"``.
+
+    ``REPRO_REPLAY_VEC=numpy`` forces the fallback; any other setting
+    (including ``numba``) uses the JIT exactly when numba is importable.
+    """
+    if os.environ.get("REPRO_REPLAY_VEC", "").strip().lower() == "numpy":
+        return "numpy"
+    return "numba" if _numba_walkers() is not None else "numpy"
+
+
+def warm_backend() -> str:
+    """Resolve the backend and trigger JIT compilation; returns its name.
+
+    The parallel runner calls this during the capture phase so the numba
+    walkers compile while the capture job is the critical path, not during
+    the first swept replay.
+    """
+    backend = vec_backend()
+    if backend == "numba":
+        seek, cut = _numba_walkers()
+        dummy = np.zeros(2, dtype=np.uint8)
+        seek(dummy, 0, 2, 0.0, 1.0, 0.5, 3.0, 14.0)
+        cut(dummy, 0, 2, 0.0, -1.0, True, 1.0, 0.5, 3.0, 14.0)
+    return backend
+
+
+# -- the speculate-and-verify clock walker -------------------------------------
+
+
+def _trajectory(codes, t0, comp, imlp, l1_latency, l2_latency):
+    """Exact clock trajectory over *codes*, or ``None`` if not converged.
+
+    Returns the ``len(codes) + 1`` cumulative clock values ``T[0] == t0``
+    .. ``T[m]`` (the clock after the last step), bit-identical to the
+    scalar recurrence.  The stall sequence is speculated, replayed through
+    one interleaved sequential ``np.cumsum`` and verified elementwise
+    against a recomputation from the resulting trajectory; the verified
+    prefix is kept and the tail re-speculated.  Convergence means every
+    stall term was computed from its own exact clock value, which makes
+    the whole trajectory exact by induction.
+    """
+    m = codes.shape[0]
+    is2 = codes != 0
+    lat0 = ((t0 + l1_latency) + l2_latency) - t0
+    s0 = lat0 - l1_latency
+    if s0 < 0.0:
+        s0 = 0.0
+    q = np.where(is2, s0 * imlp, 0.0)
+    inc = np.empty(2 * m + 1)
+    inc[0] = t0
+    inc[1::2] = comp
+    verified = 0
+    for _ in range(_MAX_PASSES):
+        inc[2::2] = q
+        c = np.cumsum(inc)
+        tk = c[0 : 2 * m : 2]
+        lat = ((tk + l1_latency) + l2_latency) - tk
+        stall = lat - l1_latency
+        np.maximum(stall, 0.0, out=stall)
+        qt = np.where(is2, stall * imlp, 0.0)
+        bad = np.nonzero(qt[verified:] != q[verified:])[0]
+        if bad.size == 0:
+            # An L1-hit step adds ``+ 0.0`` on top of ``t + comp`` — a
+            # bitwise no-op for the non-negative clocks here — so the
+            # interleaved cumsum reproduces both step shapes exactly.
+            return c[0::2]
+        verified += int(bad[0])
+        q[verified:] = qt[verified:]
+    return None
+
+
+# -- cached SoA decode planes --------------------------------------------------
+
+
+def _steps_np(tape) -> np.ndarray:
+    """A writable snapshot of the step stream (the live bytearray must stay
+    export-free so ``extend_tape`` can keep appending to it)."""
+    arr = np.empty(len(tape.steps), dtype=np.uint8)
+    arr[:] = tape.steps
+    return arr
+
+
+def _build_core_plan(tape, consts) -> dict:
+    """Decode one tape's events into flat arrays (policy-independent)."""
+    llc_mask, bank_mask, dram_mask, dram_bpr = consts
+    addr = np.asarray(tape.ev_addr, dtype=np.int64)
+    step = np.asarray(tape.ev_step, dtype=np.int64)
+    kind = np.asarray(tape.ev_kind, dtype=np.uint8)
+    drow = addr // dram_bpr
+    lone = kind == EV_DEMAND
+    if lone.size:
+        same_next = np.empty(lone.size, dtype=bool)
+        same_next[-1] = False
+        same_next[:-1] = step[1:] == step[:-1]
+        lone &= ~same_next
+    return {
+        "n_steps": len(tape.steps),
+        "n_ev": len(tape.ev_step),
+        "steps_np": _steps_np(tape),
+        # Native-int lists: the serial event dispatch indexes these one at
+        # a time, and numpy scalars must not leak into policy state.
+        "ev_set": (addr & llc_mask).tolist(),
+        "ev_bank": ((addr & bank_mask) ^ ((addr >> 8) & bank_mask)).tolist(),
+        "ev_drow": drow.tolist(),
+        "ev_dbank": ((drow & dram_mask) ^ ((drow >> 8) & dram_mask)).tolist(),
+        "lone": lone.tolist(),
+    }
+
+
+def _bundle_cache(bundle, consts) -> dict:
+    """The bundle's vec-plane cache, (re)initialised for *consts*."""
+    cache = bundle.vec_cache
+    if cache is None or cache["consts"] != consts:
+        cache = {"consts": consts, "cores": {}, "sigs": {}}
+        bundle.vec_cache = cache
+    return cache
+
+
+def _core_plan(cache, tape, cid) -> dict:
+    plan = cache["cores"].get(cid)
+    if (
+        plan is None
+        or plan["n_steps"] != len(tape.steps)
+        or plan["n_ev"] != len(tape.ev_step)
+    ):
+        plan = _build_core_plan(tape, cache["consts"])
+        cache["cores"][cid] = plan
+    return plan
+
+
+def _sig_plan(cache, tape, cid, salt, sig_bits, sig_mask, sig_entries) -> list:
+    """Pre-folded SHiP signatures for every event of one core.
+
+    The scalar fold loops ``while value``; folding a fixed number of times
+    past that point only xors and shifts zeros, so folding until *every*
+    lane is exhausted is exact for each lane.
+    """
+    key = (cid, salt, sig_bits, sig_mask, sig_entries, len(tape.ev_step))
+    sigs = cache["sigs"].get(key)
+    if sigs is None:
+        value = np.asarray(tape.ev_pc, dtype=np.int64)
+        if salt is not None:
+            value = value ^ (cid << salt)
+        else:
+            value = value.copy()
+        folded = np.zeros_like(value)
+        while value.any():
+            folded ^= value & sig_mask
+            value >>= sig_bits
+        sigs = (folded % sig_entries).tolist()
+        cache["sigs"][key] = sigs
+    return sigs
+
+
+# -- the kernel ----------------------------------------------------------------
+
+
+def run_replay_vec(engine, bundle, finalize: bool = True) -> list | None:
+    """Run *engine* to completion by replaying a capture bundle (SoA tier).
+
+    Same contract as :func:`repro.cpu.replay.run_replay` — returns the
+    per-core snapshots, or ``None`` when the engine does not match the
+    bundle (the caller falls back to the scalar replay / fused / generic
+    kernels) — and bit-identical results, machine-checked by the golden
+    differential suite.
+    """
+    if not _scalar._eligible(engine, bundle):
+        return None
+
+    h = engine.hierarchy
+    llc = h.llc
+    cores = engine.cores
+    n = h.num_cores
+    tapes = bundle.tapes
+    meta = bundle.meta
+    warmup = meta["warmup"]
+    finish_count = meta["quota"] + warmup
+
+    # -- LLC state (identical bindings to the scalar replay kernel) ---------
+    llc_mask = llc.set_mask
+    llc_ways = llc.ways
+    llc_lookup, llc_valid = cap._residency(llc)
+    llc_addrs = llc.addrs
+    llc_dirty = llc.dirty
+    llc_owner = llc.owner
+    llc_reused = llc.reused
+    llc_occ = llc.occupancy
+    s3 = llc.stats
+    llc_dh, llc_dm = s3.demand_hits, s3.demand_misses
+    llc_oh, llc_om = s3.other_hits, s3.other_misses
+    llc_by, llc_wbarr = s3.bypasses, s3.writeback_arrivals
+    llc_ev, llc_dev, llc_fl = s3.evictions, s3.dirty_evictions, s3.fills
+
+    policy = llc.policy
+    d = resolve_llc_dispatch(policy)
+    call_on_miss = d.call_on_miss
+    hit_mode = d.hit_mode
+    victim_mode = d.victim_mode
+    fill_mode = d.fill_mode
+    evict_mode = d.evict_mode
+    rows3 = d.rows
+    nmru3, nlru3 = d.next_mru, d.next_lru
+    max3 = d.max_code
+    sig3, out3, shct3 = d.ship_sigs, d.ship_outcomes, d.shct
+    shct_max3 = d.shct_max
+    sig_entries3 = d.shct_entries
+    sig_bits3 = d.sig_bits
+    sig_mask3 = d.sig_mask
+    salt3 = d.sig_salt_shift
+    eaf3 = d.eaf
+    eaf_mults3 = d.eaf_mults
+    eaf_size3, eaf_cap3 = d.eaf_size, d.eaf_capacity
+    samplers3 = d.samplers
+    duel_roles3, duel_psels3 = d.duel_roles, d.duel_psels
+    p_on_hit = policy.on_hit
+    p_on_miss = policy.on_miss
+    p_on_evict = policy.on_evict
+    p_on_fill = policy.on_fill
+    p_decide = policy.decide_insertion
+    p_victim = policy.victim
+    end_interval = policy.end_interval
+
+    # -- timing models (identical bindings to the scalar replay kernel) -----
+    l1_latency = h.l1_latency
+    l2_latency = h.l2_latency
+    banks = h.llc_banks
+    bank_mask = banks.num_banks - 1
+    bank_free = banks._free_at
+    bank_occ = banks.occupancy
+    bank_lat = banks.latency
+    dram = h.dram
+    dram_mask = dram.num_banks - 1
+    dram_bpr = dram.blocks_per_row
+    dram_open = dram._open_row
+    dram_busy = dram._busy_until
+    dram_hit = dram.row_hit_cycles
+    dram_conf = dram.row_conflict_cycles
+    dram_occ = dram.bank_occupancy
+    arb = h.arbiter
+    arb_virtual = arb._virtual
+    arb_window = arb.window
+    arb_cost = arb.service_cycles * arb.num_cores
+    mshr = h.llc_mshr
+    msh_heap = mshr._completions if mshr is not None else None
+    msh_by = mshr._by_block if mshr is not None else None
+    msh_entries = mshr.entries if mshr is not None else 0
+    llc_wb = h.llc_wb_buffer
+
+    dram_reads = dram.reads
+    dram_writes = dram.writes
+    dram_rowhits = dram.row_hits
+    dram_rowconf = dram.row_conflicts
+    bank_accs = banks.accesses
+    bank_confs = banks.conflicts
+    arb_reqs = arb.requests
+    arb_throt = arb.throttled
+    mshr_merged = mshr.merged if mshr is not None else 0
+    mshr_stalls = mshr.stalls if mshr is not None else 0
+    msh_get = msh_by.get if msh_by is not None else None
+    llc_get = llc_lookup.get
+    llc_sets = llc.num_sets
+
+    if llc_wb is not None:
+        wb3_heap = llc_wb._retires
+        wb3_entries = llc_wb.entries
+        wb3_retire_at = llc_wb.retire_at
+        wb3_drain = llc_wb.drain_cycles
+        wb3_stalls = llc_wb.stalls
+        wb3_admitted = llc_wb.admitted
+        wb3_last = llc_wb._last_retire
+    else:
+        wb3_stalls = wb3_admitted = 0
+        wb3_last = 0.0
+
+    def wb_to_dram(addr, now):
+        nonlocal wb3_stalls, wb3_admitted, wb3_last
+        nonlocal dram_writes, dram_rowhits, dram_rowconf
+        start = now
+        if llc_wb is not None:
+            while wb3_heap and wb3_heap[0] <= start:
+                heappop(wb3_heap)
+            if len(wb3_heap) >= wb3_entries:
+                start = wb3_heap[0]
+                wb3_stalls += 1
+                while wb3_heap and wb3_heap[0] <= start:
+                    heappop(wb3_heap)
+            if len(wb3_heap) >= wb3_retire_at:
+                retire = (wb3_last if wb3_last > start else start) + wb3_drain
+            else:
+                retire = start + wb3_drain
+            wb3_last = retire
+            heappush(wb3_heap, retire)
+            wb3_admitted += 1
+        dram_writes += 1
+        dram_row = addr // dram_bpr
+        bank = (dram_row & dram_mask) ^ ((dram_row >> 8) & dram_mask)
+        bstart = dram_busy[bank]
+        if bstart < start:
+            bstart = start
+        if dram_open[bank] == dram_row:
+            dram_rowhits += 1
+        else:
+            dram_rowconf += 1
+            dram_open[bank] = dram_row
+        dram_busy[bank] = bstart + dram_occ
+
+    # -- engine bookkeeping --------------------------------------------------
+    interval = engine.interval_misses // engine.first_interval_divisor
+    full_interval = engine.interval_misses
+    no_warmup = warmup == 0
+    baselines = engine._baselines
+    remaining = n
+    if no_warmup:
+        for core in cores:
+            engine._record_baseline(core, 0.0)
+    miss_clock = engine._miss_clock
+    intervals_completed = engine.intervals_completed
+
+    resume_idx = [0] * n
+    resume_t = [0.0] * n
+    cut = [0.0, -1]  # (t_F, cid_F): the run-ending access in heap order
+    final_next_t = [0.0]
+    ev_wb0, ev_wb1, ev_nd = EV_WB0, EV_WB1, EV_ND
+    ev_demand, ev_baseline = EV_DEMAND, EV_BASELINE
+    step_l2hit, step_llc = STEP_L2HIT, STEP_LLC
+
+    # -- vectorised planes ---------------------------------------------------
+    consts = (llc_mask, bank_mask, dram_mask, dram_bpr)
+    vcache = _bundle_cache(bundle, consts)
+    walkers = None if vec_backend() == "numpy" else _numba_walkers()
+    if walkers is not None:
+        njit_seek, njit_cut = walkers
+    trajectory = _trajectory
+
+    # -- per-core compiled closures -----------------------------------------
+
+    def compile_core(cid):
+        tape = tapes[cid]
+        steps = tape.steps  # bytearray; grows in place on live extension
+        ev_step = tape.ev_step
+        ev_kind = tape.ev_kind
+        ev_addr = tape.ev_addr
+        ev_pc = tape.ev_pc
+        core = cores[cid]
+        comp_c = core.compute_cycles_per_access
+        imlp_c = core.inverse_mlp
+        base = baselines[cid]
+
+        plan = _core_plan(vcache, tape, cid)
+        steps_np = plan["steps_np"]
+        ev_set = plan["ev_set"]
+        ev_bank = plan["ev_bank"]
+        ev_drow = plan["ev_drow"]
+        ev_dbank = plan["ev_dbank"]
+        lone = plan["lone"]
+        if fill_mode == _SHIP:
+            ev_sig = _sig_plan(
+                vcache, tape, cid, salt3, sig_bits3, sig_mask3, sig_entries3
+            )
+        else:
+            ev_sig = None
+        fail_budget = _FAIL_BUDGET
+
+        def refresh_plan():
+            """Rebuild the decode planes after a live tape extension."""
+            nonlocal steps_np, ev_set, ev_bank, ev_drow, ev_dbank, lone, ev_sig
+            fresh = _core_plan(vcache, tape, cid)
+            steps_np = fresh["steps_np"]
+            ev_set = fresh["ev_set"]
+            ev_bank = fresh["ev_bank"]
+            ev_drow = fresh["ev_drow"]
+            ev_dbank = fresh["ev_dbank"]
+            lone = fresh["lone"]
+            if ev_sig is not None:
+                ev_sig = _sig_plan(
+                    vcache, tape, cid, salt3, sig_bits3, sig_mask3, sig_entries3
+                )
+
+        if samplers3 is not None:
+            smp3 = samplers3[cid]
+            mon_get = smp3._index_of.get
+            mon_arrays = smp3._arrays
+        else:
+            smp3 = mon_get = mon_arrays = None
+        if duel_psels3 is not None:
+            d_psel = duel_psels3[cid]
+            d_get = duel_roles3[cid].get
+            d_max = d_psel.max_value
+        else:
+            d_psel = d_get = None
+            d_max = 0
+        wb2 = h.l2_wb_buffers[cid] if h.l2_wb_buffers is not None else None
+        if wb2 is not None:
+            wb2_heap = wb2._retires
+            wb2_entries = wb2.entries
+            wb2_retire_at = wb2.retire_at
+            wb2_drain = wb2.drain_cycles
+            wb2_stalls = wb2.stalls
+            wb2_admitted = wb2.admitted
+            wb2_last = wb2._last_retire
+        else:
+            wb2_stalls = wb2_admitted = 0
+            wb2_last = 0.0
+
+        def sync_core():
+            if wb2 is not None:
+                wb2.stalls = wb2_stalls
+                wb2.admitted = wb2_admitted
+                wb2._last_retire = wb2_last
+
+        def llc_fill(addr, s, pc, decision, is_write, is_demand, sig):
+            """Identical to the scalar replay kernel's ``llc_fill`` (the
+            SHiP signature arrives pre-folded)."""
+            victim_addr = -1
+            victim_dirty = False
+            row = llc_addrs[s]
+            if llc_valid[s] < llc_ways:
+                way = row.index(-1)
+                llc_valid[s] += 1
+            else:
+                if victim_mode == _RRIP:
+                    rrow = rows3[s]
+                    current_max = max(rrow)
+                    if current_max < max3:
+                        delta = max3 - current_max
+                        rrow[:] = [v + delta for v in rrow]
+                    way = rrow.index(max3)
+                elif victim_mode == _STACK:
+                    srow = rows3[s]
+                    way = srow.index(min(srow))
+                else:
+                    way = p_victim(s, cid)
+                victim_addr = row[way]
+                victim_dirty = llc_dirty[s][way]
+                victim_owner = llc_owner[s][way]
+                if evict_mode == _EV_SHIP:
+                    if not out3[s][way]:
+                        sg = sig3[s][way]
+                        v = shct3[sg]
+                        if v > 0:
+                            shct3[sg] = v - 1
+                elif evict_mode == _EV_EAF:
+                    mixed = (victim_addr ^ (victim_addr >> 17)) + 0x9E37
+                    bits = eaf3._bits
+                    for mult in eaf_mults3:
+                        bits[(((mixed * mult) & _MASK64) >> 31) % eaf_size3] = 1
+                    ins = eaf3.inserted + 1
+                    eaf3.inserted = ins
+                    if ins >= eaf_cap3:
+                        eaf3.clear()
+                elif evict_mode == _EV_CALL:
+                    p_on_evict(
+                        s,
+                        way,
+                        victim_owner,
+                        victim_addr,
+                        llc_reused[s][way],
+                    )
+                llc_ev[victim_owner] += 1
+                if victim_dirty:
+                    llc_dev[victim_owner] += 1
+                llc_occ[victim_owner] -= 1
+                del llc_lookup[victim_addr]
+            row[way] = addr
+            llc_lookup[addr] = way
+            llc_dirty[s][way] = is_write
+            llc_owner[s][way] = cid
+            llc_reused[s][way] = False
+            llc_occ[cid] += 1
+            llc_fl[cid] += 1
+            if fill_mode == _RRIP:
+                rows3[s][way] = decision
+            elif fill_mode == _SHIP:
+                rows3[s][way] = decision
+                sig3[s][way] = sig
+                out3[s][way] = not is_demand
+            elif fill_mode == _STACK:
+                if decision == 1:  # MRU_INSERT
+                    st = nmru3[s]
+                    rows3[s][way] = st
+                    nmru3[s] = st + 1
+                else:
+                    st = nlru3[s]
+                    rows3[s][way] = st
+                    nlru3[s] = st - 1
+            else:
+                p_on_fill(s, way, decision, cid, pc, addr, is_demand)
+            return victim_addr, victim_dirty
+
+        def wb_to_llc(addr, now, s, bank):
+            """Identical to the scalar replay kernel's ``wb_to_llc`` (set
+            index and LLC bank arrive pre-decoded)."""
+            nonlocal wb2_stalls, wb2_admitted, wb2_last, bank_accs, bank_confs
+            start = now
+            if wb2 is not None:
+                while wb2_heap and wb2_heap[0] <= start:
+                    heappop(wb2_heap)
+                if len(wb2_heap) >= wb2_entries:
+                    start = wb2_heap[0]
+                    wb2_stalls += 1
+                    while wb2_heap and wb2_heap[0] <= start:
+                        heappop(wb2_heap)
+                if len(wb2_heap) >= wb2_retire_at:
+                    retire = (wb2_last if wb2_last > start else start) + wb2_drain
+                else:
+                    retire = start + wb2_drain
+                wb2_last = retire
+                heappush(wb2_heap, retire)
+                wb2_admitted += 1
+            way = llc_get(addr, -1)
+            llc_wbarr[cid] += 1
+            bypassed = False
+            victim_addr = -1
+            victim_dirty = False
+            if way >= 0:
+                llc_oh[cid] += 1
+                llc_dirty[s][way] = True
+                if hit_mode == _CALL:
+                    p_on_hit(s, way, cid, False, addr)
+            else:
+                llc_om[cid] += 1
+                if call_on_miss:
+                    p_on_miss(s, cid, False)
+                decision = p_decide(s, cid, 0, addr, False)
+                if decision is BYPASS:
+                    llc_by[cid] += 1
+                    bypassed = True
+                else:
+                    victim_addr, victim_dirty = llc_fill(
+                        addr, s, 0, decision, True, False, 0
+                    )
+            bstart = bank_free[bank]
+            if bstart > start:
+                bank_confs += 1
+            else:
+                bstart = start
+            bank_free[bank] = bstart + bank_occ
+            bank_accs += 1
+            if bypassed:
+                wb_to_dram(addr, start)
+            elif victim_dirty:
+                wb_to_dram(victim_addr, start)
+
+        def nondemand_llc(addr, pc, now, s, bank, drow, dbank, sig):
+            """The scalar kernel's ``nondemand_llc`` with pre-decoded
+            set/bank/DRAM-row/DRAM-bank and pre-folded signature."""
+            nonlocal arb_reqs, arb_throt, bank_accs, bank_confs
+            nonlocal mshr_merged, mshr_stalls
+            nonlocal dram_reads, dram_rowhits, dram_rowconf
+            t_l2 = now + l1_latency
+            t_in = t_l2 + l2_latency
+            arb_reqs += 1
+            vclock = arb_virtual[cid]
+            start = t_in
+            earliest = vclock - arb_window
+            if earliest > t_in:
+                start = earliest
+                arb_throt += 1
+            base_v = vclock if vclock > start else start
+            arb_virtual[cid] = base_v + arb_cost
+
+            way = llc_get(addr, -1)
+            llc_hit = way >= 0
+            victim_addr = -1
+            victim_dirty = False
+            if llc_hit:
+                llc_oh[cid] += 1
+                if hit_mode == _CALL:
+                    p_on_hit(s, way, cid, False, addr)
+            else:
+                llc_om[cid] += 1
+                if call_on_miss:
+                    p_on_miss(s, cid, False)
+                decision = p_decide(s, cid, pc, addr, False)
+                if decision is BYPASS:
+                    llc_by[cid] += 1
+                else:
+                    victim_addr, victim_dirty = llc_fill(
+                        addr, s, pc, decision, False, False, sig
+                    )
+            bstart = bank_free[bank]
+            if bstart > start:
+                bank_confs += 1
+            else:
+                bstart = start
+            bank_free[bank] = bstart + bank_occ
+            bank_accs += 1
+            t_bank = bstart + bank_lat
+            if llc_hit:
+                return
+            if victim_dirty:
+                wb_to_dram(victim_addr, t_bank)
+
+            t_dram = t_bank
+            if mshr is not None:
+                done = msh_get(addr)
+                if done is not None and done > t_bank:
+                    mshr_merged += 1
+                    return
+                while msh_heap and msh_heap[0] <= t_dram:
+                    heappop(msh_heap)
+                if not msh_heap:
+                    msh_by.clear()
+                elif len(msh_by) > 2 * len(msh_heap):
+                    keep = {blk: tt for blk, tt in msh_by.items() if tt > t_dram}
+                    msh_by.clear()
+                    msh_by.update(keep)
+                if len(msh_heap) >= msh_entries:
+                    t_dram = msh_heap[0]
+                    mshr_stalls += 1
+                    while msh_heap and msh_heap[0] <= t_dram:
+                        heappop(msh_heap)
+                    if not msh_heap:
+                        msh_by.clear()
+                    elif len(msh_by) > 2 * len(msh_heap):
+                        keep = {
+                            blk: tt for blk, tt in msh_by.items() if tt > t_dram
+                        }
+                        msh_by.clear()
+                        msh_by.update(keep)
+            dram_reads += 1
+            dstart = dram_busy[dbank]
+            if dstart < t_dram:
+                dstart = t_dram
+            if dram_open[dbank] == drow:
+                latency = dram_hit
+                dram_rowhits += 1
+            else:
+                latency = dram_conf
+                dram_rowconf += 1
+                dram_open[dbank] = drow
+            dram_busy[dbank] = dstart + dram_occ
+            done = dstart + latency
+            if mshr is not None:
+                heappush(msh_heap, done)
+                msh_by[addr] = done
+
+        def demand_llc(addr, pc, now, s, bank, drow, dbank, sig):
+            """The scalar kernel's ``demand_llc`` with pre-decoded
+            set/bank/DRAM-row/DRAM-bank and pre-folded signature.
+
+            Returns ``(completion_time, llc_demand_miss)``.
+            """
+            nonlocal arb_reqs, arb_throt, bank_accs, bank_confs
+            nonlocal mshr_merged, mshr_stalls
+            nonlocal dram_reads, dram_rowhits, dram_rowconf
+            t_l2 = now + l1_latency
+            t_in = t_l2 + l2_latency
+            arb_reqs += 1
+            vclock = arb_virtual[cid]
+            start = t_in
+            earliest = vclock - arb_window
+            if earliest > t_in:
+                start = earliest
+                arb_throt += 1
+            base_v = vclock if vclock > start else start
+            arb_virtual[cid] = base_v + arb_cost
+
+            way = llc_get(addr, -1)
+            llc_hit = way >= 0
+            victim_addr = -1
+            victim_dirty = False
+            if llc_hit:
+                llc_dh[cid] += 1
+                llc_reused[s][way] = True
+                if hit_mode == _RRIP:
+                    rows3[s][way] = 0
+                elif hit_mode == _SHIP:
+                    rows3[s][way] = 0
+                    out3[s][way] = True
+                    sg = sig3[s][way]
+                    v = shct3[sg]
+                    if v < shct_max3:
+                        shct3[sg] = v + 1
+                elif hit_mode == _ADAPT:
+                    rows3[s][way] = 0
+                    ai = mon_get(s)
+                    if ai is not None:
+                        smp3.samples += 1
+                        mon_arrays[ai].observe(addr // llc_sets)
+                elif hit_mode == _STACK:
+                    st = nmru3[s]
+                    rows3[s][way] = st
+                    nmru3[s] = st + 1
+                else:
+                    p_on_hit(s, way, cid, True, addr)
+            else:
+                llc_dm[cid] += 1
+                if d_psel is not None:
+                    role = d_get(s, -1)
+                    if role == 0:
+                        v = d_psel.value + 1
+                        if v <= d_max:
+                            d_psel.value = v
+                    elif role == 1:
+                        v = d_psel.value - 1
+                        if v >= 0:
+                            d_psel.value = v
+                elif call_on_miss:
+                    p_on_miss(s, cid, True)
+                decision = p_decide(s, cid, pc, addr, True)
+                if decision is BYPASS:
+                    llc_by[cid] += 1
+                else:
+                    victim_addr, victim_dirty = llc_fill(
+                        addr, s, pc, decision, False, True, sig
+                    )
+            bstart = bank_free[bank]
+            if bstart > start:
+                bank_confs += 1
+            else:
+                bstart = start
+            bank_free[bank] = bstart + bank_occ
+            bank_accs += 1
+            t_bank = bstart + bank_lat
+            if llc_hit:
+                return t_bank, False
+            if victim_dirty:
+                wb_to_dram(victim_addr, t_bank)
+
+            t_dram = t_bank
+            if mshr is not None:
+                done = msh_get(addr)
+                if done is not None and done > t_bank:
+                    mshr_merged += 1
+                    return done, True
+                while msh_heap and msh_heap[0] <= t_dram:
+                    heappop(msh_heap)
+                if not msh_heap:
+                    msh_by.clear()
+                elif len(msh_by) > 2 * len(msh_heap):
+                    keep = {blk: tt for blk, tt in msh_by.items() if tt > t_dram}
+                    msh_by.clear()
+                    msh_by.update(keep)
+                if len(msh_heap) >= msh_entries:
+                    t_dram = msh_heap[0]
+                    mshr_stalls += 1
+                    while msh_heap and msh_heap[0] <= t_dram:
+                        heappop(msh_heap)
+                    if not msh_heap:
+                        msh_by.clear()
+                    elif len(msh_by) > 2 * len(msh_heap):
+                        keep = {
+                            blk: tt for blk, tt in msh_by.items() if tt > t_dram
+                        }
+                        msh_by.clear()
+                        msh_by.update(keep)
+            dram_reads += 1
+            dstart = dram_busy[dbank]
+            if dstart < t_dram:
+                dstart = t_dram
+            if dram_open[dbank] == drow:
+                latency = dram_hit
+                dram_rowhits += 1
+            else:
+                latency = dram_conf
+                dram_rowconf += 1
+                dram_open[dbank] = drow
+            dram_busy[dbank] = dstart + dram_occ
+            done = dstart + latency
+            if mshr is not None:
+                heappush(msh_heap, done)
+                msh_by[addr] = done
+            return done, True
+
+        # -- the clock + event cursor ----------------------------------------
+
+        idx = 0
+        t_clock = 0.0
+        p = 0
+
+        def seek_event():
+            """Walk the clock to the next event-bearing access.
+
+            Same contract as the scalar kernel's ``seek_event``; long
+            inter-event segments run through the vectorised walker (numba
+            when active, speculate-and-verify numpy otherwise), short ones
+            and non-converged segments through the scalar recurrence.
+            """
+            nonlocal idx, t_clock, fail_budget
+            if p >= len(ev_step):
+                cap.extend_tape(bundle, cid, meta["chunk"])
+                refresh_plan()
+            e = ev_step[p] if p < len(ev_step) else len(steps)
+            i = idx
+            t = t_clock
+            if walkers is not None:
+                if e > i:
+                    t = njit_seek(
+                        steps_np, i, e, t, comp_c, imlp_c, l1_latency, l2_latency
+                    )
+                idx = e
+                t_clock = t
+                return t
+            if e - i >= _VEC_MIN and fail_budget > 0:
+                traj = trajectory(
+                    steps_np[i:e], t, comp_c, imlp_c, l1_latency, l2_latency
+                )
+                if traj is not None:
+                    t = float(traj[e - i])
+                    idx = e
+                    t_clock = t
+                    return t
+                fail_budget -= 1
+            while i < e:
+                if steps[i]:
+                    t_l2 = t + l1_latency
+                    done = t_l2 + l2_latency
+                    latency = done - t
+                    stall = latency - l1_latency
+                    if stall < 0.0:
+                        stall = 0.0
+                    t = t + comp_c + stall * imlp_c
+                else:
+                    t = t + comp_c
+                i += 1
+            idx = i
+            t_clock = t
+            return t
+
+        def process(t):
+            """Process the pending event group; returns the next event time
+            (or ``None`` once the whole run has completed)."""
+            nonlocal miss_clock, intervals_completed, interval, remaining
+            nonlocal idx, t_clock, p
+            if p >= len(ev_step):
+                # Provisional wake-up: no event generated yet — extend by
+                # another chunk and reschedule.
+                return seek_event()
+            e = ev_step[p]
+            code = steps[e]
+            saw_baseline = False
+            saw_snapshot = False
+            n_ev = len(ev_step)
+            p1 = p + 1
+            if lone[p]:
+                # Overwhelmingly common group shape: one demand fetch.
+                done, demand_missed = demand_llc(
+                    ev_addr[p],
+                    ev_pc[p],
+                    t,
+                    ev_set[p],
+                    ev_bank[p],
+                    ev_drow[p],
+                    ev_dbank[p],
+                    ev_sig[p] if ev_sig is not None else 0,
+                )
+                p = p1
+            else:
+                done = 0.0
+                demand_missed = False
+                while p < n_ev and ev_step[p] == e:
+                    k = ev_kind[p]
+                    if k == ev_demand:
+                        done, demand_missed = demand_llc(
+                            ev_addr[p],
+                            ev_pc[p],
+                            t,
+                            ev_set[p],
+                            ev_bank[p],
+                            ev_drow[p],
+                            ev_dbank[p],
+                            ev_sig[p] if ev_sig is not None else 0,
+                        )
+                    elif k == ev_wb0:
+                        wb_to_llc(ev_addr[p], t, ev_set[p], ev_bank[p])
+                    elif k == ev_wb1:
+                        wb_to_llc(
+                            ev_addr[p], t + l1_latency, ev_set[p], ev_bank[p]
+                        )
+                    elif k == ev_nd:
+                        nondemand_llc(
+                            ev_addr[p],
+                            ev_pc[p],
+                            t,
+                            ev_set[p],
+                            ev_bank[p],
+                            ev_drow[p],
+                            ev_dbank[p],
+                            ev_sig[p] if ev_sig is not None else 0,
+                        )
+                    elif k == ev_baseline:
+                        saw_baseline = True
+                    else:
+                        saw_snapshot = True
+                    p += 1
+
+            if code == step_llc:
+                latency = done - t
+                stall = latency - l1_latency
+                if stall < 0.0:
+                    stall = 0.0
+                next_t = t + comp_c + stall * imlp_c
+            elif code == step_l2hit:
+                t_l2 = t + l1_latency
+                done = t_l2 + l2_latency
+                latency = done - t
+                stall = latency - l1_latency
+                if stall < 0.0:
+                    stall = 0.0
+                next_t = t + comp_c + stall * imlp_c
+            else:
+                next_t = t + comp_c
+
+            if demand_missed:
+                miss_clock += 1
+                if miss_clock >= interval:
+                    end_interval()
+                    miss_clock = 0
+                    intervals_completed += 1
+                    interval = full_interval
+
+            if saw_baseline:
+                rec = tape.baseline
+                base.time = next_t
+                base.instructions = rec["instructions"]
+                base.accesses = warmup
+                base.l1 = rec["l1_demand_misses"]
+                base.l2 = rec["l2_demand_misses"]
+                base.llc = (llc_dh[cid] + llc_dm[cid], llc_dm[cid])
+                base.bypasses = llc_by[cid]
+
+            if saw_snapshot:
+                rec = tape.finish
+                core.finished = True
+                core.snapshot = CoreSnapshot(
+                    instructions=rec["instructions"] - base.instructions,
+                    cycles=next_t - base.time,
+                    accesses=finish_count - base.accesses,
+                    l1_misses=rec["l1_demand_misses"] - base.l1,
+                    l2_misses=rec["l2_demand_misses"] - base.l2,
+                    llc_accesses=(llc_dh[cid] + llc_dm[cid]) - base.llc[0],
+                    llc_misses=llc_dm[cid] - base.llc[1],
+                    llc_bypasses=llc_by[cid] - base.bypasses,
+                )
+                remaining -= 1
+                if remaining == 0:
+                    cut[0] = t
+                    cut[1] = cid
+                    final_next_t[0] = next_t
+                    resume_idx[cid] = e + 1
+                    resume_t[cid] = next_t
+                    return None
+
+            idx = e + 1
+            t_clock = next_t
+            resume_idx[cid] = e + 1
+            resume_t[cid] = next_t
+            return seek_event()
+
+        def cut_walk(t_f, cid_f):
+            """How many of this core's accesses the fused kernel would have
+            processed before the run-ending access ``(t_f, cid_f)``.
+
+            Same contract as the scalar kernel's ``cut_walk``; the stop
+            index is found by growing the exact trajectory chunk by chunk
+            and binary-searching it (ties resolved by the ``cid < cid_f``
+            heap order, exactly like the scalar condition).
+            """
+            i = resume_idx[cid]
+            t = resume_t[cid]
+            tie_lt = cid < cid_f  # continue through a tie on t_f
+            if walkers is not None:
+                i, t, found = njit_cut(
+                    steps_np,
+                    i,
+                    len(steps_np),
+                    t,
+                    t_f,
+                    tie_lt,
+                    comp_c,
+                    imlp_c,
+                    l1_latency,
+                    l2_latency,
+                )
+                if found:
+                    return i
+                t = float(t)
+            else:
+                n_steps = len(steps)
+                while True:
+                    m = n_steps - i
+                    if m > _CUT_CHUNK:
+                        m = _CUT_CHUNK
+                    if m < _VEC_MIN:
+                        break
+                    traj = trajectory(
+                        steps_np[i : i + m],
+                        t,
+                        comp_c,
+                        imlp_c,
+                        l1_latency,
+                        l2_latency,
+                    )
+                    if traj is None:
+                        break
+                    # traj[k] is the clock *before* step i+k: the scalar
+                    # loop keeps walking while the pre-step clock satisfies
+                    # the cut condition, and traj is strictly increasing,
+                    # so the stop offset is a binary search.
+                    side = "right" if tie_lt else "left"
+                    k = int(np.searchsorted(traj[:m], t_f, side=side))
+                    if k < m:
+                        return i + k
+                    i += m
+                    t = float(traj[m])
+            while t < t_f or (t == t_f and cid < cid_f):
+                if steps[i]:
+                    t_l2 = t + l1_latency
+                    done = t_l2 + l2_latency
+                    latency = done - t
+                    stall = latency - l1_latency
+                    if stall < 0.0:
+                        stall = 0.0
+                    t = t + comp_c + stall * imlp_c
+                else:
+                    t = t + comp_c
+                i += 1
+            return i
+
+        return seek_event, process, cut_walk, sync_core
+
+    seekers = [None] * n
+    processors = [None] * n
+    cut_walks = [None] * n
+    core_syncs = [None] * n
+    for cid in range(n):
+        seekers[cid], processors[cid], cut_walks[cid], core_syncs[cid] = compile_core(cid)
+
+    # -- the replay loop (identical to the scalar replay kernel) -------------
+    try:
+        heap: list[tuple[float, int]] = []
+        for cid in range(n):
+            heappush(heap, (seekers[cid](), cid))
+        running = True
+        while running:
+            t, cid = heappop(heap)
+            proc = processors[cid]
+            if heap:
+                head = heap[0]
+                while True:
+                    nxt = proc(t)
+                    if nxt is None:
+                        running = False
+                        break
+                    head_t = head[0]
+                    if nxt < head_t or (nxt == head_t and cid < head[1]):
+                        t = nxt
+                        continue
+                    heappush(heap, (nxt, cid))
+                    break
+            else:
+                while True:
+                    nxt = proc(t)
+                    if nxt is None:
+                        running = False
+                        break
+                    t = nxt
+    finally:
+        engine._miss_clock = miss_clock
+        engine.intervals_completed = intervals_completed
+        dram.reads = dram_reads
+        dram.writes = dram_writes
+        dram.row_hits = dram_rowhits
+        dram.row_conflicts = dram_rowconf
+        banks.accesses = bank_accs
+        banks.conflicts = bank_confs
+        arb.requests = arb_reqs
+        arb.throttled = arb_throt
+        if mshr is not None:
+            mshr.merged = mshr_merged
+            mshr.stalls = mshr_stalls
+        if llc_wb is not None:
+            llc_wb.stalls = wb3_stalls
+            llc_wb.admitted = wb3_admitted
+            llc_wb._last_retire = wb3_last
+        for sync in core_syncs:
+            sync()
+
+    # -- final private-level reconstruction (identical to the scalar) --------
+    if finalize:
+        t_f, cid_f = cut[0], cut[1]
+        prefetches_issued = 0
+        for cid in range(n):
+            n_i = finish_count if cid == cid_f else cut_walks[cid](t_f, cid_f)
+            tape = tapes[cid]
+            ck = None
+            for candidate in tape.checkpoints:
+                if candidate["index"] <= n_i:
+                    ck = candidate
+                else:
+                    break
+            source = engine.sources[cid]
+            pf = h.l2_prefetchers[cid] if h.l2_prefetchers is not None else None
+            sim = cap.PrivateCoreSim(
+                h.l1s[cid], h.l2s[cid], pf, h.l1_next_line_prefetch, source
+            )
+            sim.restore_state(ck)
+            cap.advance_source(source, ck["index"])
+            sim.run(n_i - ck["index"], record=False)
+            core = cores[cid]
+            core.accesses = n_i
+            core.instructions = sim.instr
+            prefetches_issued += sim.pf_issued
+        h.prefetches_issued = prefetches_issued
+
+    engine.now = final_next_t[0]
+    engine.now = max(engine.now, max(c.snapshot.cycles for c in cores))
+    return [c.snapshot for c in cores]

@@ -98,6 +98,13 @@ def _execute_capture(task: tuple[dict, list[dict]]) -> dict | None:
     if manifest:
         install_manifest(manifest)
     try:
+        from repro.cpu import replay_vec
+
+        if replay_vec.replay_vec_requested():
+            # Resolve and JIT-compile the array-native backend while the
+            # capture is the batch's critical path, so the first swept
+            # replay in this worker doesn't pay the compilation stall.
+            replay_vec.warm_backend()
         return ReplayStore(payload["root"]).materialise(
             tuple(payload["benchmarks"]),
             _config_from(payload["config"]),

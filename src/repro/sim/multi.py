@@ -8,13 +8,43 @@ expressed by passing a pre-built policy instance.
 
 from __future__ import annotations
 
-from repro.cpu import replay
+from repro.cpu import replay, replay_vec
 from repro.cpu.engine import MulticoreEngine
 from repro.policies.spec import policy_key
 from repro.sim.build import PolicyLike, build_hierarchy, build_sources
 from repro.sim.config import SystemConfig
 from repro.sim.results import WorkloadResult
 from repro.trace.workloads import Workload
+
+
+def kernel_selection() -> str:
+    """The kernel a replay-eligible swept run resolves to, by precedence.
+
+    The kill-switch family resolves deterministically (machine-checked in
+    ``tests/sim/test_kernel_selection.py``):
+
+    1. ``REPRO_NO_FASTPATH`` → ``"generic"`` (reference loop, everywhere);
+    2. else ``REPRO_NO_REPLAY`` → ``"fast"`` (fused kernel, no replay);
+    3. else ``REPRO_REPLAY_VEC`` set → ``"replay_vec"`` (array-native
+       replay; the value picks the backend — see
+       :func:`repro.cpu.replay_vec.vec_backend`);
+    4. else → ``"replay"`` (scalar replay kernel).
+
+    ``REPRO_NO_SHARED_TRACES`` is orthogonal: it changes how trace
+    buffers materialise, never which kernel runs.  Runs without a
+    registered capture bundle (or failing replay eligibility) degrade
+    along the same order: ``replay_vec`` → ``replay`` → ``fast`` →
+    ``generic``.
+    """
+    from repro.cpu.fastpath import fastpath_enabled
+
+    if not fastpath_enabled():
+        return "generic"
+    if not replay.replay_enabled():
+        return "fast"
+    if replay_vec.replay_vec_requested():
+        return "replay_vec"
+    return "replay"
 
 
 def run_workload(
@@ -54,7 +84,10 @@ def run_workload(
             workload.benchmarks, config, quota, warmup, master_seed
         )
         if bundle is not None:
-            snapshots = replay.run_replay(engine, bundle, finalize=False)
+            if replay_vec.replay_vec_requested():
+                snapshots = replay_vec.run_replay_vec(engine, bundle, finalize=False)
+            if snapshots is None:
+                snapshots = replay.run_replay(engine, bundle, finalize=False)
     if snapshots is None:
         snapshots = engine.run()
     return WorkloadResult(

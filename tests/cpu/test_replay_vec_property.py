@@ -1,0 +1,207 @@
+"""Property-based equivalence: array-native replay vs the scalar replay.
+
+Hypothesis draws random run parameters — workload mix, master seed,
+budgets, prefetch shape, capture slack — captures the platform once, and
+replays the *same bundle* through the scalar kernel and through
+``replay_vec``.  State must match element for element at the run's cut
+point: per-set residency (addrs/dirty/owner/reused/occupancy), the
+dispatch-plan state (RRPV and stack rows, duelling PSELs, SHCT and
+signature/outcome arrays, EAF Bloom bits, monitor samplers), the per-core
+snapshots, the full LLC stats block and the engine clock.  Random budgets
+move the warm-up baseline, the interval clock and the completion cut
+across every checkpoint shape the fixtures never pin; ``slack=0.0``
+forces the live-tail extension (and therefore the vec kernel's decode-
+plane invalidation) on every example, and sharing one bundle between the
+two kernels exercises the sweep-shaped plan cache.
+
+A second suite drives the speculate-and-verify trajectory walker
+directly against the scalar clock recurrence on adversarial step/constant
+combinations — including the non-converged ``None`` outcome, which the
+kernel must treat as "fall back", never as "approximate".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import replay_vec
+from repro.cpu.capture import capture_workload
+from repro.cpu.engine import MulticoreEngine
+from repro.cpu.replay import run_replay
+from repro.cpu.replay_vec import _trajectory, run_replay_vec
+from repro.golden import golden_config
+from repro.sim.build import build_hierarchy, build_sources
+from repro.trace.workloads import Workload
+from tests.policies.test_fastops_property import _policy_state
+
+#: Every inline family plus a wrapper composition (pure ``_CALL`` dispatch).
+REPLAY_POLICIES = ("lru", "dip", "tadrrip", "ship", "eaf", "adapt_bp32", "tadrrip+bp")
+
+BENCH_POOL = ("mcf", "libq", "gcc", "calc", "astar")
+
+
+def _config(prefetch):
+    config = golden_config()
+    if prefetch:
+        config = replace(config, l1_next_line_prefetch=True, l2_stride_prefetch=True)
+    return config
+
+
+def _engine(policy_name, benchmarks, seed, quota, warmup, prefetch):
+    config = _config(prefetch)
+    hierarchy = build_hierarchy(config, policy_name)
+    sources = build_sources(Workload("prop", benchmarks), config, seed)
+    return MulticoreEngine(
+        hierarchy,
+        sources,
+        quota_per_core=quota,
+        interval_misses=config.effective_interval,
+        warmup_accesses=warmup,
+    )
+
+
+def _observe(engine, snapshots):
+    llc = engine.hierarchy.llc
+    return (
+        [s.to_dict() for s in snapshots],
+        llc.stats.snapshot(),
+        # Per-set residency, element for element.
+        llc.addrs,
+        llc.dirty,
+        llc.owner,
+        llc.reused,
+        list(llc.occupancy),
+        _policy_state(llc.policy),
+        engine.intervals_completed,
+        engine.now,
+    )
+
+
+@pytest.mark.parametrize("policy_name", REPLAY_POLICIES)
+@settings(max_examples=6, deadline=None)
+@given(
+    bench_a=st.sampled_from(BENCH_POOL),
+    bench_b=st.sampled_from(BENCH_POOL),
+    seed=st.integers(min_value=0, max_value=2**16),
+    quota=st.integers(min_value=150, max_value=600),
+    warmup=st.integers(min_value=0, max_value=200),
+    prefetch=st.booleans(),
+    slack=st.sampled_from((0.0, 0.05, 1.0)),
+)
+def test_replay_vec_matches_scalar_replay_state(
+    policy_name, bench_a, bench_b, seed, quota, warmup, prefetch, slack
+):
+    benchmarks = (bench_a, bench_b)
+    bundle = capture_workload(
+        benchmarks, _config(prefetch), quota, warmup, seed, slack=slack
+    )
+
+    scalar = _engine(policy_name, benchmarks, seed, quota, warmup, prefetch)
+    expected_snaps = run_replay(scalar, bundle)
+    assert expected_snaps is not None, "platform must be replay eligible"
+    expected = _observe(scalar, expected_snaps)
+
+    engine = _engine(policy_name, benchmarks, seed, quota, warmup, prefetch)
+    vec_snaps = run_replay_vec(engine, bundle)
+    assert vec_snaps is not None, "platform must be replay-vec eligible"
+    assert _observe(engine, vec_snaps) == expected
+
+
+class TestEligibility:
+    def test_mismatched_bundle_returns_none(self):
+        bundle = capture_workload(("mcf", "libq"), golden_config(), 200, 50, 0)
+        other = _engine("lru", ("mcf", "libq"), 0, 300, 50, False)  # quota differs
+        assert run_replay_vec(other, bundle) is None
+
+    def test_plan_cache_attaches_to_bundle(self):
+        bundle = capture_workload(("mcf", "libq"), golden_config(), 200, 50, 0)
+        assert bundle.vec_cache is None
+        engine = _engine("ship", ("mcf", "libq"), 0, 200, 50, False)
+        assert run_replay_vec(engine, bundle) is not None
+        cache = bundle.vec_cache
+        assert set(cache["cores"]) == {0, 1}
+        assert cache["sigs"], "SHiP runs must cache the folded signatures"
+        # A second policy over the same bundle reuses the decode planes.
+        again = _engine("lru", ("mcf", "libq"), 0, 200, 50, False)
+        assert run_replay_vec(again, bundle) is not None
+        assert bundle.vec_cache is cache
+
+
+# -- the clock walker, in isolation --------------------------------------------
+
+
+def _serial_walk(codes, t0, comp, imlp, l1, l2):
+    t = t0
+    out = [t]
+    for code in codes:
+        if code:
+            t_l2 = t + l1
+            done = t_l2 + l2
+            latency = done - t
+            stall = latency - l1
+            if stall < 0.0:
+                stall = 0.0
+            t = t + comp + stall * imlp
+        else:
+            t = t + comp
+        out.append(t)
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    m=st.integers(min_value=0, max_value=700),
+    comp=st.sampled_from((1.33, 2.2, 2.48, 3.4, 8.61, 11.2, 0.7315)),
+    mlp=st.sampled_from((1.5, 2.0, 3.0)),
+    t0=st.sampled_from((0.0, 123.456, 70_000.25, 3.1e6)),
+    latencies=st.sampled_from(((3.0, 14.0), (4.0, 12.0), (1.0, 10.0))),
+    density=st.sampled_from((0.0, 0.05, 0.3, 0.7, 1.0)),
+)
+def test_trajectory_walker_is_bit_exact(data, m, comp, mlp, t0, latencies, density):
+    l1, l2 = latencies
+    codes = np.asarray(
+        data.draw(
+            st.lists(
+                st.booleans().map(int) if density not in (0.0, 1.0) else st.just(int(density)),
+                min_size=m,
+                max_size=m,
+            )
+        ),
+        dtype=np.uint8,
+    )
+    expected = _serial_walk(codes, t0, comp, 1.0 / mlp, l1, l2)
+    traj = _trajectory(codes, t0, comp, 1.0 / mlp, l1, l2)
+    if traj is None:
+        return  # non-convergence is a legal outcome: the kernel walks serially
+    assert traj.shape[0] == m + 1
+    assert traj.tolist() == expected
+
+
+def test_trajectory_walker_handles_empty_segment():
+    traj = _trajectory(np.empty(0, dtype=np.uint8), 42.5, 1.33, 1 / 1.5, 3.0, 14.0)
+    assert traj.tolist() == [42.5]
+
+
+def test_backend_resolution_without_numba(monkeypatch):
+    """In an environment without numba the backend must resolve to numpy —
+    for the auto value *and* for an explicit ``numba`` request."""
+    try:
+        import numba  # noqa: F401
+
+        has_numba = True
+    except ImportError:
+        has_numba = False
+    monkeypatch.setenv("REPRO_REPLAY_VEC", "numpy")
+    assert replay_vec.vec_backend() == "numpy"
+    monkeypatch.setenv("REPRO_REPLAY_VEC", "1")
+    assert replay_vec.vec_backend() == ("numba" if has_numba else "numpy")
+    monkeypatch.setenv("REPRO_REPLAY_VEC", "numba")
+    assert replay_vec.vec_backend() == ("numba" if has_numba else "numpy")
+    # warm_backend resolves identically and is safe to call repeatedly.
+    assert replay_vec.warm_backend() == replay_vec.vec_backend()

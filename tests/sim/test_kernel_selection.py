@@ -1,0 +1,157 @@
+"""Kill-switch precedence: every env combination picks one documented kernel.
+
+The four kernel-family switches — ``REPRO_NO_FASTPATH``,
+``REPRO_NO_REPLAY``, ``REPRO_REPLAY_VEC`` and ``REPRO_NO_SHARED_TRACES``
+— must resolve deterministically in the documented precedence order
+(generic beats fused beats array-native replay beats scalar replay;
+shared-trace materialisation is orthogonal).  This suite enumerates all
+sixteen combinations against :func:`repro.sim.multi.kernel_selection`,
+pins the value semantics of ``REPRO_REPLAY_VEC`` (off / auto / forced
+backend), and checks end to end that a replay-registered
+``run_workload`` produces identical results whichever kernel the
+switches resolve to.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+
+from repro.cpu import replay, replay_vec
+from repro.cpu.fastpath import fastpath_enabled
+from repro.golden import golden_config
+from repro.runner.replaystore import (
+    ReplayStore,
+    clear_replay_manifest,
+    install_replay_manifest,
+)
+from repro.sim.multi import kernel_selection, run_workload
+from repro.trace.workloads import Workload
+
+FLAGS = (
+    "REPRO_NO_FASTPATH",
+    "REPRO_NO_REPLAY",
+    "REPRO_REPLAY_VEC",
+    "REPRO_NO_SHARED_TRACES",
+)
+
+COMBOS = list(product((False, True), repeat=len(FLAGS)))
+COMBO_IDS = [
+    "+".join(flag.replace("REPRO_", "") for flag, on in zip(FLAGS, combo) if on)
+    or "none"
+    for combo in COMBOS
+]
+
+
+def _expected(no_fastpath, no_replay, vec, _no_shared_traces):
+    if no_fastpath:
+        return "generic"
+    if no_replay:
+        return "fast"
+    if vec:
+        return "replay_vec"
+    return "replay"
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for flag in FLAGS:
+        monkeypatch.delenv(flag, raising=False)
+
+
+@pytest.mark.parametrize("combo", COMBOS, ids=COMBO_IDS)
+def test_every_combination_resolves_deterministically(combo, monkeypatch):
+    for flag, on in zip(FLAGS, combo):
+        if on:
+            monkeypatch.setenv(flag, "1")
+    assert kernel_selection() == _expected(*combo)
+    # The predicates agree with the resolution.
+    selected = kernel_selection()
+    assert fastpath_enabled() == (selected != "generic")
+    assert replay.replay_enabled() == (selected in ("replay", "replay_vec"))
+    assert replay_vec.replay_vec_enabled() == (selected == "replay_vec")
+
+
+def test_shared_traces_switch_never_changes_the_kernel(monkeypatch):
+    for combo in COMBOS:
+        for flag, on in zip(FLAGS, combo):
+            monkeypatch.setenv(flag, "1") if on else monkeypatch.delenv(
+                flag, raising=False
+            )
+        without = kernel_selection()
+        monkeypatch.setenv("REPRO_NO_SHARED_TRACES", "1")
+        assert kernel_selection() == without
+
+
+class TestReplayVecValueSemantics:
+    @pytest.mark.parametrize("value", ["", "0"])
+    def test_off_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_VEC", value)
+        assert not replay_vec.replay_vec_requested()
+        assert kernel_selection() == "replay"
+
+    @pytest.mark.parametrize("value", ["1", "numpy", "numba", "on"])
+    def test_on_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_VEC", value)
+        assert replay_vec.replay_vec_requested()
+        assert kernel_selection() == "replay_vec"
+
+    def test_numpy_value_forces_the_fallback_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_VEC", "numpy")
+        assert replay_vec.vec_backend() == "numpy"
+
+    def test_stronger_switches_still_win(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_VEC", "1")
+        monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+        assert not replay_vec.replay_vec_enabled()
+        assert kernel_selection() == "fast"
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        assert kernel_selection() == "generic"
+
+
+class TestRunWorkloadRouting:
+    """The resolved kernel actually drives a replay-registered run — and
+    every resolution produces the identical result."""
+
+    BENCHMARKS = ("mcf", "libq")
+    QUOTA, WARMUP = 300, 100
+
+    def _run(self, config):
+        return run_workload(
+            Workload("sel", self.BENCHMARKS),
+            config,
+            "tadrrip",
+            quota=self.QUOTA,
+            warmup=self.WARMUP,
+            master_seed=0,
+        ).to_dict()
+
+    def test_all_kernels_agree_end_to_end(self, tmp_path, monkeypatch):
+        config = golden_config()
+        store = ReplayStore(tmp_path)
+        entry = store.materialise(
+            self.BENCHMARKS, config, self.QUOTA, self.WARMUP, 0
+        )
+        install_replay_manifest([entry])
+        try:
+            baseline = self._run(config)  # scalar replay
+            monkeypatch.setenv("REPRO_REPLAY_VEC", "1")
+            vec = self._run(config)
+            # Observable proof the vec kernel ran: its decode-plane cache
+            # attached to the registered bundle during the run.
+            from repro.runner.replaystore import active_replay_bundle
+
+            bundle = active_replay_bundle(
+                self.BENCHMARKS, config, self.QUOTA, self.WARMUP, 0
+            )
+            assert bundle is not None and bundle.vec_cache is not None
+            monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+            fused = self._run(config)
+            monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+            generic = self._run(config)
+        finally:
+            clear_replay_manifest()
+        assert vec == baseline
+        assert fused == baseline
+        assert generic == baseline
