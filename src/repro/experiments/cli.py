@@ -86,6 +86,20 @@ def add_store_flags(parser: argparse.ArgumentParser, *, jobs: bool = True) -> No
         action="store_true",
         help="ignore the result store and simulate everything fresh",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per failed job before quarantine "
+        "(default: REPRO_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock limit in seconds "
+        "(default: REPRO_JOB_TIMEOUT; 0 disables)",
+    )
 
 
 def add_seed_flag(parser: argparse.ArgumentParser) -> None:

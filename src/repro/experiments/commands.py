@@ -55,6 +55,16 @@ def _config_from(args) -> SystemConfig:
     return SystemConfig.scaled(getattr(args, "cores", 16))
 
 
+def _retry_from(args):
+    """Failure-handling policy: env defaults, CLI flags layered on top."""
+    from repro.runner import RetryPolicy
+
+    return RetryPolicy.from_env().with_overrides(
+        max_retries=getattr(args, "max_retries", None),
+        job_timeout=getattr(args, "job_timeout", None),
+    )
+
+
 def _runner_from(args, *, inline: bool = False) -> Runner:
     if inline:
         return Runner(
@@ -66,6 +76,7 @@ def _runner_from(args, *, inline: bool = False) -> Runner:
         jobs=args.jobs,
         results_dir=args.results_dir or None,
         use_cache=not args.no_cache,
+        retry=_retry_from(args),
     )
 
 
@@ -155,9 +166,12 @@ def _register_experiments() -> None:
 
         def run(args, name=name, simulated=simulated):
             runner = _runner_from(args, inline=not simulated)
-            _execute_experiment(name, runner)
-            if simulated:
-                print(runner.cache_summary(), file=sys.stderr)
+            try:
+                _execute_experiment(name, runner)
+                if simulated:
+                    print(runner.cache_summary(), file=sys.stderr)
+            finally:
+                runner.close()
             return 0
 
         register_command(name, help=help_line, configure=configure)(run)
@@ -196,6 +210,12 @@ def _configure_tournament(parser) -> None:
         default=None,
         help="cap the workloads per suite (default: REPRO_SCALE-scaled Table 6 counts)",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-execute only the failed/missing cells of an interrupted "
+        "sweep (requires --results-dir; completed cells come from the store)",
+    )
     add_seed_flag(parser)
     add_store_flags(parser)
 
@@ -211,6 +231,27 @@ def _cmd_tournament(args) -> int:
     if args.seeds < 1:
         print("tournament needs --seeds >= 1", file=sys.stderr)
         return 2
+    if args.resume:
+        # Resume rides on the content-addressed store: completed cells
+        # are hits, failed/missing cells are the only misses executed.
+        if not args.results_dir:
+            print("tournament --resume needs --results-dir", file=sys.stderr)
+            return 2
+        if args.no_cache:
+            print(
+                "tournament --resume contradicts --no-cache "
+                "(resume replays the store)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.runner.store import ResultStore
+
+        holes = sum(1 for _ in ResultStore(args.results_dir).failures())
+        print(
+            f"resuming: {holes} quarantined cells (plus any missing ones) "
+            "will be re-executed",
+            file=sys.stderr,
+        )
     if not args.results_dir:
         print(
             "warning: no --results-dir; results will not be aggregatable "
@@ -226,6 +267,7 @@ def _cmd_tournament(args) -> int:
             jobs=args.jobs,
             results_dir=args.results_dir or None,
             use_cache=not args.no_cache,
+            retry=_retry_from(args),
         )
     except ValueError as exc:  # unknown policy/core-count, before simulating
         print(f"tournament: {exc}", file=sys.stderr)
@@ -438,6 +480,7 @@ def _cmd_profile(args) -> int:
         _execute_experiment(args.target, runner)
     finally:
         profiler.disable()
+        runner.close()
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(args.top)
@@ -461,6 +504,12 @@ def _configure_traces(parser) -> None:
         action="store_true",
         help="report what would be pruned without deleting",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="move corrupt referenced artifacts to traces/quarantine/ "
+        "(they are regenerated on the next sweep)",
+    )
 
 
 @register_command(
@@ -477,7 +526,7 @@ def _cmd_traces(args) -> int:
     if not args.results_dir:
         print("traces gc needs a persistent store (--results-dir)", file=sys.stderr)
         return 2
-    report = collect_garbage(args.results_dir, dry_run=args.dry_run)
+    report = collect_garbage(args.results_dir, dry_run=args.dry_run, fix=args.fix)
     print(report.render())
     return 0
 

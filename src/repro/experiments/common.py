@@ -33,7 +33,14 @@ from pathlib import Path
 
 from repro.metrics.throughput import compute_all_metrics, weighted_speedup
 from repro.policies.base import ReplacementPolicy
-from repro.runner import ParallelRunner, PolicySpec, ResultStore, WorkloadJob, policy_key
+from repro.runner import (
+    ParallelRunner,
+    PolicySpec,
+    ResultStore,
+    RetryPolicy,
+    WorkloadJob,
+    policy_key,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.multi import run_workload
 from repro.sim.results import WorkloadResult
@@ -114,6 +121,9 @@ class Runner:
         and keeps only the in-process memo.
     use_cache:
         When ``False``, the persistent store is bypassed entirely.
+    retry:
+        Failure-handling knobs for the supervised pool (``None`` → the
+        ``REPRO_MAX_RETRIES``/``REPRO_JOB_TIMEOUT`` environment defaults).
     """
 
     def __init__(
@@ -124,13 +134,20 @@ class Runner:
         jobs: int | None = None,
         results_dir: str | Path | None = None,
         use_cache: bool = True,
+        retry: RetryPolicy | None = None,
     ):
         self.config = config
         self.settings = settings or ExperimentSettings.from_env()
         self.store = ResultStore(results_dir) if results_dir else None
-        self.pool = ParallelRunner(jobs=jobs, store=self.store, use_cache=use_cache)
+        self.pool = ParallelRunner(
+            jobs=jobs, store=self.store, use_cache=use_cache, retry=retry
+        )
         self._alone_caches: dict[str, AloneCache] = {}
         self._runs: dict[tuple[str, str, str], WorkloadResult] = {}
+
+    def close(self) -> None:
+        """Release pool-lifetime resources (temporary trace directories)."""
+        self.pool.close()
 
     # -- baselines ---------------------------------------------------------------
 
@@ -204,6 +221,18 @@ class Runner:
                 )
             else:
                 result = self.pool.run_one(self._job(workload, policy, config))
+                if result is None:
+                    failure = (
+                        self.pool.last_failures[-1]
+                        if self.pool.last_failures
+                        else None
+                    )
+                    detail = f": {failure.error}" if failure else ""
+                    raise RuntimeError(
+                        f"run quarantined after "
+                        f"{failure.attempts if failure else '?'} attempts"
+                        f" ({workload.name}, {policy_key(policy)}){detail}"
+                    )
             self._runs[key] = result
         return result
 
@@ -250,7 +279,11 @@ class Runner:
         if pending:
             results = self.pool.run([job for _, job in pending])
             for (key, _), result in zip(pending, results):
-                self._runs[key] = result
+                # A quarantined job leaves a None hole: keep it out of the
+                # memo, so a later run()/re-prefetch retries instead of
+                # serving the hole.
+                if result is not None:
+                    self._runs[key] = result
         if alone and benchmarks:
             self._alone_cache(config).prefetch(sorted(benchmarks))
 
@@ -292,10 +325,13 @@ class Runner:
         """One line describing how much work the caches saved."""
         stats = self.pool.stats
         where = f" in {self.store.root}" if self.store else ""
+        failed = (
+            f", {stats['failed']} failed (resumable)" if stats["failed"] else ""
+        )
         return (
             f"runner: {stats['executed']} simulated, "
             f"{stats['store_hits']} from store{where}, "
-            f"{len(self._runs)} workload runs memoised"
+            f"{len(self._runs)} workload runs memoised{failed}"
         )
 
 

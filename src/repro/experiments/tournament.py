@@ -54,6 +54,8 @@ class TournamentRun:
     scheduled: int = 0
     executed: int = 0
     store_hits: int = 0
+    #: Cells quarantined after exhausting retries (holes in the grid).
+    failed: int = 0
     results_dir: str | None = None
 
     def render(self) -> str:
@@ -64,10 +66,17 @@ class TournamentRun:
         ]
         for (cores, seed), count in sorted(self.suites.items()):
             lines.append(f"  {cores}-core suite, seed {seed}: {count} workloads")
-        lines.append(
+        summary = (
             f"{self.scheduled} runs scheduled: {self.executed} simulated, "
             f"{self.store_hits} already in store"
         )
+        if self.failed:
+            summary += f", {self.failed} FAILED (quarantined)"
+        lines.append(summary)
+        if self.failed:
+            lines.append(
+                "re-run with --resume to re-execute only the failed cells"
+            )
         if self.results_dir:
             lines.append(
                 f"results persisted in {self.results_dir} — "
@@ -93,6 +102,7 @@ def run_tournament(
     results_dir: str | Path | None = "results",
     use_cache: bool = True,
     settings: ExperimentSettings | None = None,
+    retry=None,
 ) -> TournamentRun:
     """Schedule the full tournament grid through the parallel runner.
 
@@ -123,18 +133,23 @@ def run_tournament(
             jobs=jobs,
             results_dir=results_dir,
             use_cache=use_cache,
+            retry=retry,
         )
-        for core_count in cores:
-            config = config_for_cores(runner.config, core_count)
-            suite = seed_settings.suite(core_count)
-            if workloads is not None:
-                suite = suite[:workloads]
-            run.suites[(core_count, seed)] = len(suite)
-            run.scheduled += len(suite) * len(roster)
-            # One batch per (seed, suite): every policy sweeps every
-            # workload, so the runner captures each platform once and
-            # replays the whole roster at LLC speed.
-            runner.prefetch(suite, roster, config)
-        run.executed += runner.pool.stats["executed"]
-        run.store_hits += runner.pool.stats["store_hits"]
+        try:
+            for core_count in cores:
+                config = config_for_cores(runner.config, core_count)
+                suite = seed_settings.suite(core_count)
+                if workloads is not None:
+                    suite = suite[:workloads]
+                run.suites[(core_count, seed)] = len(suite)
+                run.scheduled += len(suite) * len(roster)
+                # One batch per (seed, suite): every policy sweeps every
+                # workload, so the runner captures each platform once and
+                # replays the whole roster at LLC speed.
+                runner.prefetch(suite, roster, config)
+            run.executed += runner.pool.stats["executed"]
+            run.store_hits += runner.pool.stats["store_hits"]
+            run.failed += runner.pool.stats["failed"]
+        finally:
+            runner.close()
     return run

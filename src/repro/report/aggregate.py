@@ -72,6 +72,9 @@ class TournamentData:
     skipped_parameterised: int = 0
     skipped_no_alone: int = 0
     skipped_no_baseline: int = 0
+    #: Jobs the supervised runner quarantined (persisted failure records)
+    #: — holes in the grid, re-executed by ``tournament --resume``.
+    failed_cells: int = 0
 
     @property
     def policies(self) -> list[str]:
@@ -169,6 +172,7 @@ def gather(store: ResultStore, baseline: str = DEFAULT_BASELINE) -> TournamentDa
     against.  Records missing any of them are counted per reason.
     """
     data = TournamentData(baseline=baseline)
+    data.failed_cells = sum(1 for _ in store.failures())
     alone = _alone_ipcs(store)
     # (workload, platform, seed) -> policy -> (record, ws, mpki)
     groups: dict[tuple, dict[str, tuple[StoredResult, float, float]]] = {}

@@ -49,6 +49,11 @@ def render_ranked(report: TournamentReport) -> str:
             f"{data.skipped_no_alone} without solo baselines, "
             f"{data.skipped_no_baseline} without a {data.baseline} partner)"
         )
+    if data.failed_cells:
+        lines.append(
+            f"({data.failed_cells} quarantined cells are holes in this grid "
+            "— re-execute with: repro-experiments tournament --resume)"
+        )
     return "\n".join(lines)
 
 

@@ -18,7 +18,15 @@ The subsystem has three pieces:
   private-level capture per platform, replayed by every swept job), plus
   the per-process manifest registry;
 * :mod:`repro.runner.tracegc` — ``repro-experiments traces gc``, pruning
-  shared buffers no stored result references any more.
+  shared buffers no stored result references any more and quarantining
+  corrupt artifacts;
+* :mod:`repro.runner.supervisor` — :class:`Supervisor`, the
+  future-per-job scheduler behind :class:`ParallelRunner` (retry with
+  backoff via :class:`RetryPolicy`, wall-clock timeouts, pool-rebuild
+  recovery, :class:`FailureRecord` quarantine);
+* :mod:`repro.runner.faults` / :mod:`repro.runner.integrity` — the
+  deterministic ``REPRO_FAULT`` injection harness and the checksum /
+  quarantine plumbing that proves the failure semantics.
 
 The experiments layer (:class:`repro.experiments.common.Runner`) sits on
 top, keeping its in-process memo as the L1 cache above the store.
@@ -35,15 +43,18 @@ from repro.runner.jobs import (
 from repro.runner.parallel import ParallelRunner, default_jobs
 from repro.runner.replaystore import ReplayStore
 from repro.runner.store import ResultStore, StoredResult
+from repro.runner.supervisor import FailureRecord, RetryPolicy
 
 __all__ = [
     "SCHEMA_VERSION",
     "AloneJob",
+    "FailureRecord",
     "Job",
     "ParallelRunner",
     "PolicySpec",
     "ReplayStore",
     "ResultStore",
+    "RetryPolicy",
     "StoredResult",
     "WorkloadJob",
     "default_jobs",

@@ -20,6 +20,17 @@ The worker count defaults to the ``REPRO_JOBS`` environment variable and
 falls back to ``os.cpu_count()``; ``jobs=1`` executes inline in the
 calling process (no pool, no pickling), which is also the automatic
 fast path for single-job batches.
+
+Execution is *supervised* (:mod:`repro.runner.supervisor`): every miss
+is submitted as its own future and collected in completion order, so a
+worker exception, hang or death costs one job — retried with backoff,
+recovered across pool rebuilds, or quarantined as a structured
+:class:`~repro.runner.supervisor.FailureRecord` in the result store.
+:meth:`ParallelRunner.run` therefore returns **partial results**
+(``None`` holes for quarantined jobs) plus :attr:`ParallelRunner.last_failures`
+instead of raising mid-batch; a re-invocation against the same store
+re-executes only the holes, because completed work is already durable
+under its content-addressed keys.
 """
 
 from __future__ import annotations
@@ -27,8 +38,8 @@ from __future__ import annotations
 import os
 import tempfile
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
 
+from repro.runner import faults
 from repro.runner.jobs import SCHEMA_VERSION, Job, job_from_dict
 from repro.runner.replaystore import (
     ReplayStore,
@@ -36,6 +47,7 @@ from repro.runner.replaystore import (
     install_replay_manifest,
 )
 from repro.runner.store import ResultStore
+from repro.runner.supervisor import FailureRecord, RetryPolicy, Supervisor
 from repro.trace.shared import (
     SharedTraceStore,
     chunks_for,
@@ -70,18 +82,21 @@ def _job_trace_identities(job: Job) -> list[tuple]:
     ]
 
 
-def _execute_payload(task: tuple[dict, list[dict], list[dict]]) -> dict:
+def _execute_payload(task: tuple[dict, list[dict], list[dict], str, int]) -> dict:
     """Worker entry point: dict in, dict out — nothing exotic crosses the pipe.
 
     The shared-trace and replay-capture manifests ride along with every
     payload; installing them is idempotent (mappings and bundles are
     cached per path), so a worker reusing a process across tasks maps
-    each buffer once.
+    each buffer once — and a *fresh* worker after a pool rebuild needs no
+    re-initialisation beyond its first task.  The job's cache key and
+    attempt number ride along too, for the fault-injection harness.
     """
-    payload, manifest, replay_manifest = task
+    payload, manifest, replay_manifest, key, attempt = task
     if manifest:
         install_manifest(manifest)
     install_replay_manifest(replay_manifest)
+    faults.maybe_fail(key, attempt, allow_exit=True)
     return job_from_dict(payload).execute().to_dict()
 
 
@@ -140,6 +155,10 @@ class ParallelRunner:
         are materialised once and mapped zero-copy by every executor
         (also gated by the ``REPRO_NO_SHARED_TRACES`` environment
         variable).  Results are bit-identical either way.
+    retry:
+        The batch :class:`~repro.runner.supervisor.RetryPolicy`
+        (``None`` reads ``REPRO_MAX_RETRIES`` / ``REPRO_JOB_TIMEOUT`` /
+        ``REPRO_RETRY_BACKOFF`` from the environment).
     """
 
     def __init__(
@@ -148,23 +167,59 @@ class ParallelRunner:
         store: ResultStore | None = None,
         use_cache: bool = True,
         share_traces: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.jobs = jobs if jobs and jobs > 0 else default_jobs()
         self.store = store
         self.use_cache = use_cache
         self.share_traces = share_traces
+        self.retry = retry or RetryPolicy.from_env()
         self._traces: SharedTraceStore | None = None
         self._trace_tmpdir: tempfile.TemporaryDirectory | None = None
         #: Lifetime counters: ``store_hits`` results re-read from disk,
-        #: ``executed`` simulations actually performed.
-        self.stats = {"store_hits": 0, "executed": 0}
+        #: ``executed`` simulations completed (counted per job, as each
+        #: finishes), ``failed`` jobs quarantined after retries, plus the
+        #: supervisor's ``retried``/``timeouts``/``pool_rebuilds``.
+        self.stats = {
+            "store_hits": 0,
+            "executed": 0,
+            "failed": 0,
+            "retried": 0,
+            "timeouts": 0,
+            "pool_rebuilds": 0,
+        }
+        #: Every quarantined job over the runner's lifetime, and the
+        #: subset from the most recent :meth:`run` batch.
+        self.failures: list[FailureRecord] = []
+        self.last_failures: list[FailureRecord] = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Reclaim the runner-lifetime temporary trace directory (if any)."""
+        tmpdir, self._trace_tmpdir = self._trace_tmpdir, None
+        if tmpdir is not None:
+            self._traces = None
+            tmpdir.cleanup()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- execution ---------------------------------------------------------------
 
     def run(self, jobs: Sequence[Job]) -> list:
         """Execute *jobs*; returns their results in input order.
 
-        Duplicate jobs (same cache key) within a batch are simulated once.
+        Duplicate jobs (same cache key) within a batch are simulated
+        once.  A job that exhausts its retries yields ``None`` in the
+        returned list (and a :class:`FailureRecord` in
+        :attr:`last_failures` plus, with a store, a persisted failure
+        record) rather than aborting the batch — completed results are
+        always returned, and a later invocation re-executes only the
+        holes.
         """
         order: list[str] = []
         unique: dict[str, Job] = {}
@@ -181,58 +236,78 @@ class ParallelRunner:
                 results[key] = cached
             else:
                 misses.append((key, job))
+        self.last_failures = []
 
         manifest = self._prepare_traces([job for _, job in misses])
         if manifest:
             # Install in this process too: inline execution replays the
             # same buffers the pool workers map.
             install_manifest(manifest)
-        # One pool serves both phases: the capture jobs warm the workers
-        # (imports, trace-buffer mmaps) for the batch that follows.
-        pool = None
-        if self.jobs > 1 and len(misses) > 1:
-            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(misses)))
+        # One supervisor (and pool) serves both phases: the capture jobs
+        # warm the workers (imports, trace-buffer mmaps) for the batch.
+        supervisor = Supervisor(
+            workers=min(self.jobs, len(misses)) if len(misses) > 1 else 1,
+            policy=self.retry,
+        )
         try:
             # Capture jobs run ahead of the replay jobs that depend on
             # them (they need the trace manifest installed in workers).
             replay_manifest = self._prepare_replays(
-                [job for _, job in misses], manifest, pool
+                [job for _, job in misses], manifest, supervisor
             )
             install_replay_manifest(replay_manifest)
-            for key, job, result in self._execute(
-                misses, manifest, replay_manifest, pool
+            for key, job, outcome in self._execute(
+                supervisor, misses, manifest, replay_manifest
             ):
-                results[key] = result
-                self._save(key, job, result)
+                if isinstance(outcome, FailureRecord):
+                    self.stats["failed"] += 1
+                    self.failures.append(outcome)
+                    self.last_failures.append(outcome)
+                    self._record_failure(job, outcome)
+                else:
+                    self.stats["executed"] += 1
+                    results[key] = outcome
+                    self._save(key, job, outcome)
+        except BaseException:
+            # Don't block behind queued work when the batch is going down.
+            supervisor.shutdown(cancel=True)
+            raise
+        else:
+            supervisor.shutdown()
         finally:
-            if pool is not None:
-                pool.shutdown()
+            for name, value in supervisor.stats.items():
+                self.stats[name] += value
             clear_replay_manifest()
             if manifest:
                 clear_manifest()
 
-        return [results[key] for key in order]
+        return [results.get(key) for key in order]
 
     def run_one(self, job: Job):
         return self.run([job])[0]
 
     def _execute(
         self,
+        supervisor: Supervisor,
         misses: list[tuple[str, Job]],
         manifest: list[dict],
         replay_manifest: list[dict],
-        pool: ProcessPoolExecutor | None,
     ):
-        self.stats["executed"] += len(misses)
         if not misses:
-            return
-        if pool is None:
-            for key, job in misses:
-                yield key, job, job.execute()
-            return
-        payloads = [(job.to_dict(), manifest, replay_manifest) for _, job in misses]
-        for (key, job), data in zip(misses, pool.map(_execute_payload, payloads)):
-            yield key, job, job.result_from_dict(data)
+            return iter(())
+        return supervisor.run_jobs(
+            misses,
+            worker_fn=_execute_payload,
+            task_for=lambda key, job, attempt: (
+                job.to_dict(),
+                manifest,
+                replay_manifest,
+                key,
+                attempt,
+            ),
+            inline_fn=lambda key, job: job.execute(),
+            decode=lambda job, data: job.result_from_dict(data),
+        )
 
     # -- shared traces -----------------------------------------------------------
 
@@ -309,7 +384,7 @@ class ParallelRunner:
         self,
         jobs: list[Job],
         trace_manifest: list[dict],
-        pool: ProcessPoolExecutor | None,
+        supervisor: Supervisor,
     ) -> list[dict]:
         """Capture the private-level streams of every swept platform.
 
@@ -359,11 +434,10 @@ class ParallelRunner:
             payload = dict(payloads[ident])
             payload["root"] = root
             tasks.append((payload, trace_manifest))
-        entries: list[dict | None]
-        if pool is not None and len(tasks) > 1:
-            entries = list(pool.map(_execute_capture, tasks))
-        else:
-            entries = [_execute_capture(task) for task in tasks]
+        # Captures are pure optimisation: a failed (or crashed) capture
+        # costs its manifest entry, never the batch — the affected sweep
+        # runs on the fused kernel instead.
+        entries = supervisor.map_resilient(_execute_capture, tasks)
         return [entry for entry in entries if entry]
 
     # -- store plumbing ----------------------------------------------------------
@@ -373,6 +447,11 @@ class ParallelRunner:
             return None
         payload = self.store.get(key)
         if not payload or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        if payload.get("kind") == "failure" or "result" not in payload:
+            # A persisted FailureRecord is informational, not a result:
+            # resuming re-executes the job (and overwrites the record on
+            # success).
             return None
         try:
             result = job.result_from_dict(payload["result"])
@@ -391,5 +470,25 @@ class ParallelRunner:
                 "kind": job.kind,
                 "job": job.to_dict(),
                 "result": result.to_dict(),
+            },
+        )
+
+    def _record_failure(self, job: Job, failure: FailureRecord) -> None:
+        """Persist a quarantined job so it is never silently dropped.
+
+        The record lives at the job's own cache key — enumerable via
+        :meth:`ResultStore.failures`, read as a *miss* by :meth:`_load`
+        (so a resumed run retries the job) and overwritten by the result
+        when a retry eventually succeeds.
+        """
+        if self.store is None or not self.use_cache:
+            return
+        self.store.put(
+            failure.key,
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": "failure",
+                "job": job.to_dict(),
+                "failure": failure.to_dict(),
             },
         )

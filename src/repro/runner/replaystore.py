@@ -44,6 +44,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.cpu.capture import CAPTURE_FORMAT, EVENT_DTYPE, CaptureBundle, CoreTape
+from repro.runner import faults
+from repro.runner.integrity import quarantine, verify_artifact, write_checksum
 
 _KEY_LEN = 40
 
@@ -122,7 +124,9 @@ def load_meta(path: Path | str) -> dict | None:
         with np.load(path, allow_pickle=False) as npz:
             blob = json.loads(bytes(npz["meta_json"]).decode())
             meta = blob["meta"]
-    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+    except Exception:
+        # "Any damage" includes mid-file corruption, which surfaces as
+        # BadZipFile/UnicodeDecodeError/... depending on which bytes hit.
         return None
     if meta.get("format") != CAPTURE_FORMAT:
         return None
@@ -153,7 +157,8 @@ def load_bundle(path: Path | str) -> CaptureBundle | None:
                 tape.finish = rec["finish"]
                 tape.length = rec["length"]
                 tapes.append(tape)
-    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+    except Exception:
+        # Same contract as load_meta: any damage reads as a miss.
         return None
     return CaptureBundle(meta, tapes)
 
@@ -188,6 +193,10 @@ class ReplayStore:
         slack = replay_slack()
         key = replay_key(identity, slack)
         path = self.path_for(key)
+        if path.is_file() and verify_artifact(path) is False:
+            # Damage found before reuse: preserve the evidence out of the
+            # live namespace and fall through to a fresh capture.
+            quarantine(path, reason="replay checksum mismatch")
         if path.is_file():
             self.stats["reused"] += 1
         else:
@@ -195,6 +204,8 @@ class ReplayStore:
                 tuple(benchmarks), config, quota, warmup, master_seed, slack
             )
             save_bundle(bundle, path)
+            write_checksum(path)
+            faults.corrupt_artifact("replay", path, path.name)
             self.stats["captured"] += 1
         return {"identity": list(identity), "path": str(path)}
 
@@ -252,5 +263,16 @@ def active_replay_bundle(
     if path not in _BUNDLES:
         while len(_BUNDLES) >= _BUNDLE_CACHE_LIMIT:
             _BUNDLES.pop(next(iter(_BUNDLES)))
-        _BUNDLES[path] = load_bundle(path)
+        if verify_artifact(path) is False:
+            # Checksum mismatch: a corrupt .npz may still *load* with
+            # wrong tape data, so quarantine instead of trusting it.
+            quarantine(path, reason="replay checksum mismatch")
+            _BUNDLES[path] = None
+        else:
+            bundle = load_bundle(path)
+            if bundle is None and os.path.isfile(path):
+                # Structurally unreadable (truncated/damaged npz): the
+                # next materialise should re-capture, not re-reuse it.
+                quarantine(path, reason="replay unreadable")
+            _BUNDLES[path] = bundle
     return _BUNDLES[path]

@@ -152,11 +152,40 @@ class ResultStore:
             payload = self.get(key)
             if not payload or payload.get("schema") != SCHEMA_VERSION:
                 continue
+            if payload.get("kind") == "failure" or "result" not in payload:
+                # Persisted FailureRecords live at job keys too; they are
+                # enumerable via :meth:`failures`, never as results.
+                continue
             try:
                 job = job_from_dict(payload["job"])
             except (KeyError, TypeError, ValueError):
                 continue
             yield StoredResult(key=key, job=job, payload=payload)
+
+    def failures(self) -> Iterator[dict]:
+        """Every persisted failure record (quarantined jobs), key-sorted.
+
+        Yields the raw ``failure`` dicts written by the supervised runner
+        (``key``/``kind``/``attempts``/``error``), augmented with the
+        job payload under ``"job"`` so reports can name the lost cell.
+        A failure record is replaced by the real result as soon as a
+        resumed run succeeds, so this view always reflects the *current*
+        holes in the store.
+        """
+        from repro.runner.jobs import SCHEMA_VERSION
+
+        for key in self.keys():
+            payload = self.get(key)
+            if (
+                not payload
+                or payload.get("schema") != SCHEMA_VERSION
+                or payload.get("kind") != "failure"
+            ):
+                continue
+            failure = dict(payload.get("failure") or {})
+            failure.setdefault("key", key)
+            failure["job"] = payload.get("job")
+            yield failure
 
     def query(
         self,

@@ -11,15 +11,27 @@ pruned them, so heavily-used stores grew without bound.
 nothing about the on-disk JSON layout), recomputes the content-addressed
 buffer keys its job would use today (same trace-chunk budget, same capture
 slack), and removes every buffer file no stored result references.
-Exposed as ``repro-experiments traces gc``.
+
+The pass also *audits* the buffers it keeps: a referenced artifact whose
+checksum sidecar no longer matches — or whose npz structure no longer
+loads — is reported as corrupt, and moved to ``traces/quarantine/``
+under ``--fix`` (the next sweep regenerates it from a plain miss).
+Orphaned ``.sha256`` sidecars are swept with their artifacts.  Exposed
+as ``repro-experiments traces gc``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.runner.integrity import (
+    CHECKSUM_SUFFIX,
+    quarantine,
+    quarantined_artifacts,
+    verify_artifact,
+)
 from repro.runner.store import ResultStore
 
 #: Orphaned ``.tmp`` files (crashed atomic writes) younger than this are
@@ -37,6 +49,12 @@ class GcReport:
     removed: list[str]
     freed_bytes: int
     dry_run: bool
+    #: Referenced artifacts whose checksum/structure check failed.
+    corrupt: list[str] = field(default_factory=list)
+    #: Whether corrupt artifacts were moved to quarantine this pass.
+    fix: bool = False
+    #: Artifacts already held in ``traces/quarantine/``.
+    quarantined: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         action = "would remove" if self.dry_run else "removed"
@@ -47,6 +65,17 @@ class GcReport:
             f"({self.freed_bytes / 1024:.0f} KiB)",
         ]
         lines.extend(f"  - {name}" for name in self.removed)
+        if self.corrupt:
+            verdict = (
+                "quarantined" if self.fix and not self.dry_run
+                else "found (rerun with --fix to quarantine)"
+            )
+            lines.append(f"{len(self.corrupt)} corrupt artifacts {verdict}")
+            lines.extend(f"  ! {name}" for name in self.corrupt)
+        if self.quarantined:
+            lines.append(
+                f"{len(self.quarantined)} artifacts held in quarantine/"
+            )
         return "\n".join(lines)
 
 
@@ -80,8 +109,21 @@ def _referenced(store: ResultStore) -> tuple[int, set[str], set[tuple]]:
     return scanned, names, identities
 
 
-def collect_garbage(results_dir: str | Path, dry_run: bool = False) -> GcReport:
-    """Prune unreferenced trace/replay buffers under ``<results_dir>/traces``."""
+def _is_corrupt(path: Path, structurally_dead: bool = False) -> bool:
+    """Whether a kept artifact fails its integrity checks."""
+    return structurally_dead or verify_artifact(path) is False
+
+
+def collect_garbage(
+    results_dir: str | Path, dry_run: bool = False, fix: bool = False
+) -> GcReport:
+    """Prune unreferenced trace/replay buffers under ``<results_dir>/traces``.
+
+    With *fix*, referenced-but-corrupt artifacts (checksum mismatch, or a
+    replay npz whose structure no longer loads) are moved to
+    ``traces/quarantine/`` so the next sweep regenerates them; without it
+    they are only reported.
+    """
     from repro.runner.replaystore import identity_from_meta, load_meta
 
     store = ResultStore(results_dir)
@@ -89,6 +131,7 @@ def collect_garbage(results_dir: str | Path, dry_run: bool = False) -> GcReport:
     traces_dir = store.root / "traces"
     kept: list[str] = []
     removed: list[str] = []
+    corrupt: list[str] = []
     freed = 0
     if traces_dir.is_dir():
         now = time.time()
@@ -99,12 +142,32 @@ def collect_garbage(results_dir: str | Path, dry_run: bool = False) -> GcReport:
         )
         for path in candidates:
             if path.suffix == ".npy" and path.name in trace_names:
+                if _is_corrupt(path):
+                    corrupt.append(path.name)
+                    if fix and not dry_run:
+                        quarantine(path, reason="trace integrity check failed")
+                        continue
                 kept.append(path.name)
                 continue
             if path.suffix == ".npz":
                 meta = load_meta(path)
                 if meta is not None and identity_from_meta(meta) in replay_identities:
+                    if _is_corrupt(path):
+                        corrupt.append(path.name)
+                        if fix and not dry_run:
+                            quarantine(path, reason="replay integrity check failed")
+                            continue
                     kept.append(path.name)
+                    continue
+                if meta is None and verify_artifact(path) is not None:
+                    # A checksummed artifact that no longer loads is
+                    # damage, not garbage: a referenced identity may be
+                    # hiding inside, so preserve the evidence.
+                    corrupt.append(path.name)
+                    if fix and not dry_run:
+                        quarantine(path, reason="replay unreadable")
+                    else:
+                        kept.append(path.name)
                     continue
             try:
                 stat = path.stat()
@@ -123,6 +186,21 @@ def collect_garbage(results_dir: str | Path, dry_run: bool = False) -> GcReport:
                     continue
             removed.append(path.name)
             freed += stat.st_size
+        # Sweep sidecars whose artifact is gone (just removed, moved to
+        # quarantine, or deleted out-of-band).
+        removed_names = set(removed)
+        for sidecar in sorted(traces_dir.glob(f"*{CHECKSUM_SUFFIX}")):
+            base = sidecar.with_name(sidecar.name[: -len(CHECKSUM_SUFFIX)])
+            if base.exists() and base.name not in removed_names:
+                continue
+            try:
+                size = sidecar.stat().st_size
+                if not dry_run:
+                    sidecar.unlink()
+            except OSError:
+                continue
+            removed.append(sidecar.name)
+            freed += size
     return GcReport(
         results_scanned=scanned,
         referenced=len(trace_names) + len(replay_identities),
@@ -130,4 +208,7 @@ def collect_garbage(results_dir: str | Path, dry_run: bool = False) -> GcReport:
         removed=removed,
         freed_bytes=freed,
         dry_run=dry_run,
+        corrupt=corrupt,
+        fix=fix,
+        quarantined=[p.name for p in quarantined_artifacts(traces_dir)],
     )

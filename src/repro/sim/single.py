@@ -133,13 +133,27 @@ class AloneCache:
         for benchmark, result in zip(
             missing, self.pool.run([self.job_for(b) for b in missing])
         ):
-            self._results[benchmark] = result
+            # A quarantined baseline leaves a None hole; keep it out of
+            # the memo so a later lookup retries (and can then raise).
+            if result is not None:
+                self._results[benchmark] = result
 
     def result(self, benchmark: str) -> SingleRunResult:
         cached = self._results.get(benchmark)
         if cached is None:
             if self.pool is not None:
                 cached = self.pool.run_one(self.job_for(benchmark))
+                if cached is None:
+                    failure = (
+                        self.pool.last_failures[-1]
+                        if getattr(self.pool, "last_failures", None)
+                        else None
+                    )
+                    detail = f": {failure.error}" if failure else ""
+                    raise RuntimeError(
+                        f"IPC_alone baseline for {benchmark!r} quarantined"
+                        f"{detail}"
+                    )
             else:
                 cached = run_alone(
                     benchmark,

@@ -132,8 +132,17 @@ class SharedTraceStore:
         n_chunks: int,
     ) -> dict:
         """Generate (or find) one trace buffer; returns its manifest entry."""
+        # Lazy import: repro.runner.parallel imports this module, so the
+        # integrity/fault helpers can't be top-level without a cycle.
+        from repro.runner import faults
+        from repro.runner.integrity import quarantine, verify_artifact, write_checksum
+
         key = trace_key(spec.name, geometry, core_id, master_seed, n_chunks)
         path = self.path_for(key)
+        if path.is_file() and verify_artifact(path) is False:
+            # Damage found before reuse: preserve the evidence out of the
+            # live namespace and fall through to regeneration.
+            quarantine(path, reason="trace checksum mismatch")
         if path.is_file():
             self.stats["reused"] += 1
         else:
@@ -158,6 +167,8 @@ class SharedTraceStore:
                 except OSError:
                     pass
                 raise
+            write_checksum(path)
+            faults.corrupt_artifact("trace", path, path.name)
             self.stats["materialised"] += 1
         return {
             "benchmark": spec.name,
@@ -184,14 +195,22 @@ _MAPS: dict[str, np.ndarray] = {}
 def install_manifest(entries: list[dict]) -> None:
     """Map every manifest buffer and register it for :func:`make_source`.
 
-    Unreadable or mis-shaped files are skipped silently — the affected
-    sources fall back to private generation, which is always equivalent.
+    Unreadable, mis-shaped or checksum-mismatched files are skipped — the
+    affected sources fall back to private generation, which is always
+    equivalent.  A mismatched file is quarantined: a bit-flipped buffer
+    would still map and feed silently wrong accesses into a simulation,
+    so it must leave the live namespace before anyone trusts it.
     """
+    from repro.runner.integrity import quarantine, verify_artifact
+
     active: dict[tuple, np.ndarray] = {}
     for entry in entries:
         path = entry["path"]
         arr = _MAPS.get(path)
         if arr is None:
+            if verify_artifact(path) is False:
+                quarantine(path, reason="trace checksum mismatch")
+                continue
             try:
                 arr = np.load(path, mmap_mode="r")
             except (OSError, ValueError):

@@ -1,0 +1,220 @@
+"""Unit tests for the supervised future-per-job scheduler.
+
+Toy jobs (integers doubled by picklable module-level workers) isolate the
+scheduling semantics — retry, quarantine, pool-crash recovery, timeouts,
+inline degradation — from the simulation stack.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runner.supervisor import FailureRecord, RetryPolicy, Supervisor
+
+#: Fast-retry policy so tests never wait on real backoff.
+FAST = RetryPolicy(max_retries=2, backoff_base=0.001, backoff_cap=0.01)
+
+
+# -- picklable worker entry points (pool workers re-import this module) --------
+
+
+def _echo(task):
+    key, job, attempt = task
+    return {"value": job * 2}
+
+
+def _fail_first(task):
+    key, job, attempt = task
+    if attempt == 0:
+        raise RuntimeError("transient")
+    return {"value": job * 2}
+
+
+def _always_fail(task):
+    raise RuntimeError("poison")
+
+
+def _die_first(task):
+    key, job, attempt = task
+    if attempt == 0:
+        os._exit(3)
+    return {"value": job * 2}
+
+
+def _die_always(task):
+    os._exit(3)
+
+
+def _sleep_first(task):
+    key, job, attempt = task
+    if attempt == 0:
+        time.sleep(1.5)
+    return {"value": job * 2}
+
+
+def _run(supervisor, misses, worker_fn):
+    """Drive run_jobs to completion; returns {key: outcome}."""
+    outcomes = {}
+    try:
+        for key, job, outcome in supervisor.run_jobs(
+            misses,
+            worker_fn=worker_fn,
+            task_for=lambda key, job, attempt: (key, job, attempt),
+            inline_fn=lambda key, job: job * 2,
+            decode=lambda job, data: data["value"],
+        ):
+            outcomes[key] = outcome
+    finally:
+        supervisor.shutdown(cancel=True)
+    return outcomes
+
+
+MISSES = [("a", 1), ("b", 2), ("c", 3), ("d", 4)]
+EXPECTED = {"a": 2, "b": 4, "c": 6, "d": 8}
+
+
+class TestPoolScheduling:
+    def test_completion_ordered_collection(self):
+        outcomes = _run(Supervisor(workers=2, policy=FAST), MISSES, _echo)
+        assert outcomes == EXPECTED
+
+    def test_transient_failures_are_retried(self):
+        supervisor = Supervisor(workers=2, policy=FAST)
+        outcomes = _run(supervisor, MISSES, _fail_first)
+        assert outcomes == EXPECTED
+        assert supervisor.stats["retried"] == len(MISSES)
+
+    def test_poison_jobs_are_quarantined_not_raised(self):
+        supervisor = Supervisor(
+            workers=2, policy=RetryPolicy(max_retries=1, backoff_base=0.001)
+        )
+        outcomes = _run(supervisor, MISSES, _always_fail)
+        assert set(outcomes) == set(EXPECTED)
+        for key, outcome in outcomes.items():
+            assert isinstance(outcome, FailureRecord)
+            assert outcome.key == key
+            assert outcome.kind == "crash"
+            assert outcome.attempts == 2  # 1 try + 1 retry
+            assert "poison" in outcome.error
+
+    def test_broken_pool_is_rebuilt_and_jobs_requeued(self):
+        supervisor = Supervisor(workers=2, policy=FAST)
+        outcomes = _run(supervisor, MISSES, _die_first)
+        assert outcomes == EXPECTED
+        assert supervisor.stats["pool_rebuilds"] >= 1
+
+    def test_degrades_to_inline_when_pool_keeps_dying(self):
+        supervisor = Supervisor(
+            workers=2,
+            policy=RetryPolicy(
+                max_retries=8, backoff_base=0.001, max_pool_rebuilds=1
+            ),
+        )
+        # The pool worker always dies; the inline fallback in the parent
+        # cannot, so the batch still completes.
+        outcomes = _run(supervisor, MISSES, _die_always)
+        assert outcomes == EXPECTED
+        assert supervisor.stats["pool_rebuilds"] == 2  # 1 tolerated + the last straw
+
+    @pytest.mark.slow
+    def test_wall_clock_timeout_fails_the_hung_job(self):
+        supervisor = Supervisor(
+            workers=2,
+            policy=RetryPolicy(
+                max_retries=1, job_timeout=0.3, backoff_base=0.001
+            ),
+        )
+        outcomes = _run(supervisor, [("a", 1), ("b", 2)], _sleep_first)
+        assert outcomes == {"a": 2, "b": 4}
+        assert supervisor.stats["timeouts"] >= 1
+        # A hung worker is unreclaimable: the pool was abandoned.
+        assert supervisor.stats["pool_rebuilds"] >= 1
+
+
+class TestInlineScheduling:
+    def test_single_worker_runs_inline(self):
+        supervisor = Supervisor(workers=1, policy=FAST)
+        assert supervisor.pool is None
+        assert _run(supervisor, MISSES, _echo) == EXPECTED
+
+    def test_inline_faults_retry_then_succeed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "crash:@0")
+        supervisor = Supervisor(workers=1, policy=FAST)
+        outcomes = _run(supervisor, MISSES, _echo)
+        assert outcomes == EXPECTED
+        assert supervisor.stats["retried"] == len(MISSES)
+
+    def test_inline_poison_quarantines(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "poison:a")
+        supervisor = Supervisor(workers=1, policy=RetryPolicy(max_retries=0))
+        outcomes = _run(supervisor, MISSES, _echo)
+        assert isinstance(outcomes["a"], FailureRecord)
+        assert outcomes["a"].attempts == 1
+        assert {k: v for k, v in outcomes.items() if k != "a"} == {
+            "b": 4, "c": 6, "d": 8,
+        }
+
+
+class TestMapResilient:
+    def test_exceptions_cost_one_none_entry(self):
+        supervisor = Supervisor(workers=2, policy=FAST)
+        try:
+            results = supervisor.map_resilient(
+                _map_probe, ["ok-1", "bad", "ok-2"]
+            )
+        finally:
+            supervisor.shutdown(cancel=True)
+        assert results == ["OK-1", None, "OK-2"]
+
+    def test_small_batches_run_inline(self):
+        supervisor = Supervisor(workers=2, policy=FAST)
+        try:
+            assert supervisor.map_resilient(_map_probe, ["solo"]) == ["SOLO"]
+        finally:
+            supervisor.shutdown(cancel=True)
+
+    def test_degraded_supervisor_runs_inline(self):
+        supervisor = Supervisor(workers=1, policy=FAST)
+        assert supervisor.map_resilient(_map_probe, ["x", "y"]) == ["X", "Y"]
+
+
+def _map_probe(task):
+    if task == "bad":
+        raise ValueError("injected")
+    return task.upper()
+
+
+class TestRetryPolicy:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "1.5")
+        policy = RetryPolicy.from_env()
+        assert policy.max_retries == 5
+        assert policy.job_timeout == 1.5
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        policy = RetryPolicy.from_env()
+        assert policy.max_retries == 2
+        assert policy.job_timeout is None
+
+    def test_overrides_layer_on_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        policy = RetryPolicy.from_env().with_overrides(job_timeout=2.0)
+        assert policy.max_retries == 5 and policy.job_timeout == 2.0
+        # Explicit 0 disables the timeout rather than meaning "instant".
+        assert policy.with_overrides(job_timeout=0).job_timeout is None
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.05, backoff_cap=2.0)
+        assert policy.backoff("key", 1) == policy.backoff("key", 1)
+        assert policy.backoff("key", 1) != policy.backoff("other", 1)
+        assert all(policy.backoff("key", a) <= 2.0 for a in range(12))
+
+    def test_failure_record_roundtrip(self):
+        record = FailureRecord(key="k", kind="timeout", attempts=3, error="e")
+        assert FailureRecord.from_dict(record.to_dict()) == record

@@ -93,6 +93,57 @@ class TestCollectGarbage:
         assert report.removed == [] and report.kept == []
 
 
+class TestCorruptDetection:
+    def _damage_one(self, populated_store, pattern):
+        from repro.runner.faults import corrupt_file
+
+        target = next(iter(sorted((populated_store / "traces").glob(pattern))))
+        corrupt_file(target)
+        return target
+
+    def test_corrupt_referenced_trace_is_reported_not_deleted(
+        self, populated_store
+    ):
+        target = self._damage_one(populated_store, "*.npy")
+        report = collect_garbage(populated_store)
+        assert target.name in report.corrupt
+        # Without --fix the evidence stays put (and is never "removed").
+        assert target.exists()
+        assert target.name not in report.removed
+
+    def test_fix_quarantines_corrupt_artifacts(self, populated_store):
+        trace = self._damage_one(populated_store, "*.npy")
+        replay = self._damage_one(populated_store, "replay-*.npz")
+        report = collect_garbage(populated_store, fix=True)
+        assert {trace.name, replay.name} <= set(report.corrupt)
+        quarantine = populated_store / "traces" / "quarantine"
+        assert not trace.exists() and (quarantine / trace.name).exists()
+        assert not replay.exists() and (quarantine / replay.name).exists()
+        # A later pass reports what the quarantine holds.
+        again = collect_garbage(populated_store)
+        assert {trace.name, replay.name} <= set(again.quarantined)
+        assert again.corrupt == []
+
+    def test_dry_run_never_quarantines(self, populated_store):
+        target = self._damage_one(populated_store, "*.npy")
+        report = collect_garbage(populated_store, dry_run=True, fix=True)
+        assert target.name in report.corrupt and target.exists()
+
+    def test_orphan_sidecars_are_swept_with_their_artifact(
+        self, populated_store
+    ):
+        traces = populated_store / "traces"
+        orphan = traces / ("ab" * 20 + ".npy")
+        orphan.write_bytes(b"x" * 64)
+        sidecar = traces / (orphan.name + ".sha256")
+        sidecar.write_text("0" * 64 + "\n")
+        report = collect_garbage(populated_store)
+        assert orphan.name in report.removed and sidecar.name in report.removed
+        assert not orphan.exists() and not sidecar.exists()
+        # Sidecars of kept artifacts survive.
+        assert list(traces.glob("*.sha256"))
+
+
 class TestCli:
     def test_traces_gc_subcommand(self, populated_store, capsys):
         orphan = populated_store / "traces" / ("0f" * 20 + ".npy")
@@ -101,6 +152,20 @@ class TestCli:
         out = capsys.readouterr().out
         assert "removed" in out and orphan.name in out
         assert not orphan.exists()
+
+    def test_traces_gc_fix_flag(self, populated_store, capsys):
+        from repro.runner.faults import corrupt_file
+
+        target = next(iter(sorted((populated_store / "traces").glob("*.npy"))))
+        corrupt_file(target)
+        assert (
+            main(["traces", "gc", "--fix", "--results-dir", str(populated_store)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quarantined" in out and target.name in out
+        assert not target.exists()
+        assert (populated_store / "traces" / "quarantine" / target.name).exists()
 
     def test_traces_requires_gc_action(self):
         with pytest.raises(SystemExit):
