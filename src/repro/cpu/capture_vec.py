@@ -1,0 +1,734 @@
+"""Array-native capture pass: the SoA tier of the capture family.
+
+The scalar capture pass (:mod:`repro.cpu.capture`) steps Python once per
+access even though, for the workloads worth sweeping, the overwhelming
+majority of accesses are plain L1 hits whose entire effect is four
+metadata writes.  This kernel keeps every *coupled* plane of the private
+levels scalar — the L2 DRRIP state is global (one PSEL and one BRRIP
+ticker advanced in strict access order across sets), stride-prefetcher
+issue decisions read global L2 residency, and the L1 next-line prefetch
+couples L1 sets — and vectorises exactly the plane that is provably
+independent: **runs of consecutive L1 hits**.
+
+Within a hit run the L1 contents are invariant (hits never fill or
+evict), so:
+
+* membership of a whole window of accesses is one broadcast compare of
+  the gathered set rows (``rows[sets]``) against the addresses — the L1
+  contents live in a dense ``(num_sets, ways)`` array, so there is no
+  index structure to maintain on the miss path;
+* the per-hit metadata writes commute into bulk scatters — ``reused``
+  and ``dirty`` are idempotent ``True`` stores, and the LRU stamps of a
+  run are an arithmetic progression per set (stamp of the *i*-th hit to
+  set *s* is ``next_mru[s] + i``), so the final stamp of each touched
+  way is the progression value at its **last** occurrence, applied with
+  one ``np.maximum.at`` (new stamps always exceed every stored stamp);
+* the instruction counter is a left fold of a constant addend, replayed
+  through one sequential ``np.cumsum`` — bit-identical to the scalar
+  ``instr += ipa`` recurrence.
+
+The first non-hit access ends the run and is handled by a statement-for-
+statement mirror of the scalar miss path (same list/dict structures for
+the L1 contents, L2 and prefetcher; the L1 replacement metadata lives in
+NumPy arrays and is written back to the policy objects at every
+checkpoint, so snapshots — and therefore the saved artifact — are
+byte-identical to the scalar pass).
+
+An optional **numba backend** (the ``[jit]`` extra) replaces the
+window-vectorised walker with one ``@njit`` loop that probes the set row
+and applies each hit in place — the literal scalar recurrence, compiled,
+and the tier the capture speedup gate is enforced on.  Pure numpy is the
+always-available fallback; its per-run dispatch overhead only amortises
+when hit runs are long (large L1s, very hit-heavy mixes), so on small
+platforms it trades throughput for zero dependencies.
+
+``REPRO_CAPTURE_VEC`` opts in, mirroring ``REPRO_REPLAY_VEC`` value
+semantics (off / auto / forced backend); the capture-kernel resolution
+order is documented in :func:`repro.sim.multi.capture_kernel` and
+machine-checked in ``tests/sim/test_kernel_selection.py``.  The
+capture-artifact differential in ``tests/golden/test_golden_master.py``
+proves byte-identity against the scalar pass on every golden fixture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.cpu import capture as cap
+from repro.cpu import replay as _scalar
+
+EV_WB0, EV_WB1, EV_ND = cap.EV_WB0, cap.EV_WB1, cap.EV_ND
+EV_DEMAND = cap.EV_DEMAND
+STEP_L2HIT, STEP_LLC = cap.STEP_L2HIT, cap.STEP_LLC
+
+#: Window of the numpy hit walker; doubles while the run continues, so a
+#: long run costs one broadcast membership test per window, not per
+#: access, and a short run never gathers far past its first miss.
+_WINDOW_START = 16
+
+
+def capture_vec_requested() -> bool:
+    """Is ``REPRO_CAPTURE_VEC`` set (non-empty and not ``0``)?"""
+    return os.environ.get("REPRO_CAPTURE_VEC", "").strip().lower() not in ("", "0")
+
+
+def capture_vec_enabled() -> bool:
+    """Requested *and* not overridden by a stronger kill switch.
+
+    Captures only exist to feed the replay kernels, so the replay family
+    switches (``REPRO_NO_FASTPATH`` / ``REPRO_NO_REPLAY``) disable the
+    array-native capture pass along with the scalar one.
+    """
+    return capture_vec_requested() and _scalar.replay_enabled()
+
+
+# -- the optional numba backend ------------------------------------------------
+
+#: ``"unknown"`` until the first resolution, then ``"ready"``/``"absent"``.
+_NUMBA_STATE = "unknown"
+_NJIT_FNS: tuple | None = None
+
+
+def _hits_py(a, s, w, start, stop, rows, stamp, dirty, reused, nmru):
+    """The hit walker the numba backend compiles — the literal scalar hit
+    recurrence: probe the set row, apply the four metadata writes in
+    order.  Integer/bool ops only, so bit-identity is structural.
+
+    Kept as a plain function so the walker's *algorithm* is testable
+    (and covered by the golden differential) on machines without numba.
+    Returns the run length applied starting at *start*.
+    """
+    ways = rows.shape[1]
+    i = start
+    while i < stop:
+        addr = a[i]
+        si = s[i]
+        way = -1
+        for j in range(ways):
+            if rows[si, j] == addr:
+                way = j
+                break
+        if way < 0:
+            break
+        reused[si, way] = True
+        if w[i]:
+            dirty[si, way] = True
+        st = nmru[si]
+        stamp[si, way] = st
+        nmru[si] = st + 1
+        i += 1
+    return i - start
+
+
+def _fill_py(addr, si, is_write, rows, stamp, dirty, reused, nmru, valid):
+    """The L1 fill the numba backend compiles (demand and next-line
+    paths share it) — the scalar fill on the dense planes.
+
+    Free way = first ``-1`` slot (``row.index(-1)``); victim = first
+    minimum-stamp way, exactly the scalar ``srow.index(min(srow))``.
+    Returns ``(way, victim_addr, victim_dirty)``; the caller keeps the
+    residency dict and the boxed stat counters.
+    """
+    ways = rows.shape[1]
+    victim_addr = -1
+    victim_dirty = False
+    if valid[si] < ways:
+        way = 0
+        for j in range(ways):
+            if rows[si, j] == -1:
+                way = j
+                break
+        valid[si] += 1
+    else:
+        way = 0
+        best = stamp[si, 0]
+        for j in range(1, ways):
+            v = stamp[si, j]
+            if v < best:
+                best = v
+                way = j
+        victim_addr = rows[si, way]
+        victim_dirty = dirty[si, way]
+    rows[si, way] = addr
+    dirty[si, way] = is_write
+    reused[si, way] = False
+    st = nmru[si]
+    stamp[si, way] = st
+    nmru[si] = st + 1
+    return way, victim_addr, victim_dirty
+
+
+def _numba_kernels():
+    """The compiled ``(hit walker, L1 fill)`` pair, or ``None`` without
+    numba."""
+    global _NUMBA_STATE, _NJIT_FNS
+    if _NUMBA_STATE == "unknown":
+        try:
+            from numba import njit
+        except ImportError:
+            _NUMBA_STATE = "absent"
+        else:
+            _NJIT_FNS = (
+                njit(cache=True)(_hits_py),
+                njit(cache=True)(_fill_py),
+            )
+            _NUMBA_STATE = "ready"
+    return _NJIT_FNS if _NUMBA_STATE == "ready" else None
+
+
+def vec_backend() -> str:
+    """The backend this process would run: ``"numba"`` or ``"numpy"``.
+
+    ``REPRO_CAPTURE_VEC=numpy`` forces the fallback; any other setting
+    (including ``numba``) uses the JIT exactly when numba is importable.
+    """
+    if os.environ.get("REPRO_CAPTURE_VEC", "").strip().lower() == "numpy":
+        return "numpy"
+    return "numba" if _numba_kernels() is not None else "numpy"
+
+
+def warm_backend() -> str:
+    """Resolve the backend and trigger JIT compilation; returns its name."""
+    backend = vec_backend()
+    if backend == "numba":
+        walker, fill = _numba_kernels()
+        rows = np.full((1, 1), -1, dtype=np.int64)
+        stamp = np.zeros((1, 1), dtype=np.int64)
+        dirty = np.zeros((1, 1), dtype=bool)
+        reused = np.zeros((1, 1), dtype=bool)
+        nmru = np.ones(1, dtype=np.int64)
+        valid = np.zeros(1, dtype=np.int64)
+        walker(
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=bool),
+            0,
+            1,
+            rows,
+            stamp,
+            dirty,
+            reused,
+            nmru,
+        )
+        fill(0, 0, False, rows, stamp, dirty, reused, nmru, valid)
+    return backend
+
+
+# -- the numpy hit walker ------------------------------------------------------
+
+
+def _walk_hits_numpy(a, s, w, start, stop, rows, stamp, dirty, reused, nmru):
+    """Numpy twin of the njit walker: apply the leading hit run, return
+    its length.
+
+    Window at a time: gather the set rows of the window, one broadcast
+    compare finds each access's way (or its absence), and the prefix up
+    to the first miss commutes into bulk scatters (see module docstring
+    for why ``np.maximum.at`` realises the scalar stamp outcome).
+    """
+    n = stop - start
+    done = 0
+    window = _WINDOW_START
+    while done < n:
+        hi = done + window
+        if hi > n:
+            hi = n
+        seg_a = a[start + done : start + hi]
+        seg_s = s[start + done : start + hi]
+        eq = rows[seg_s] == seg_a[:, None]
+        hit = eq.any(1)
+        k = hit.shape[0] if hit.all() else int(hit.argmin())
+        if 0 < k <= 4:
+            # Short runs dominate most mixes, and the bulk machinery's
+            # fixed dispatch cost dwarfs four scalar updates.
+            ways = eq[:k].argmax(1)
+            for i in range(k):
+                si = int(seg_s[i])
+                way = int(ways[i])
+                reused[si, way] = True
+                if w[start + done + i]:
+                    dirty[si, way] = True
+                st = nmru[si]
+                stamp[si, way] = st
+                nmru[si] = st + 1
+            done += k
+        elif k:
+            ss = seg_s[:k]
+            ways = eq[:k].argmax(1)
+            reused[ss, ways] = True
+            sw = w[start + done : start + done + k]
+            if sw.any():
+                dirty[ss[sw], ways[sw]] = True
+            order = ss.argsort(kind="stable")
+            so = ss[order]
+            fresh = np.empty(k, dtype=bool)
+            fresh[0] = True
+            np.not_equal(so[1:], so[:-1], out=fresh[1:])
+            starts = fresh.nonzero()[0]
+            counts = np.empty(starts.shape[0], dtype=np.int64)
+            counts[:-1] = starts[1:] - starts[:-1]
+            counts[-1] = k - starts[-1]
+            rank = np.arange(k) - starts.repeat(counts)
+            flat = so * stamp.shape[1] + ways[order]
+            np.maximum.at(stamp.reshape(-1), flat, nmru[so] + rank)
+            nmru += np.bincount(so, minlength=nmru.shape[0])
+            done += k
+        if done < hi:
+            return done
+        window <<= 1
+    return n
+
+
+# -- the simulator -------------------------------------------------------------
+
+
+class VecPrivateCoreSim(cap.PrivateCoreSim):
+    """Array-native :class:`~repro.cpu.capture.PrivateCoreSim`.
+
+    Holds the same cache/policy/prefetcher objects; the L1 contents and
+    replacement metadata (rows, stamps, dirty, reused, per-set MRU
+    clocks) additionally live in dense NumPy arrays, synced back to the
+    cache/policy lists at every checkpoint so ``snapshot_state`` output
+    is byte-identical to the scalar pass.
+    """
+
+    __slots__ = (
+        "_rows_np",
+        "_stamp_np",
+        "_dirty_np",
+        "_reused_np",
+        "_nmru_np",
+        "_valid1_np",
+        "_walker",
+        "_fill",
+    )
+
+    def __init__(
+        self,
+        l1,
+        l2,
+        prefetcher,
+        l1_next_line,
+        source,
+        tape=None,
+        walker=None,
+        fill=None,
+    ):
+        super().__init__(l1, l2, prefetcher, l1_next_line, source, tape)
+        self._walker = walker
+        self._fill = fill
+        self._bind_np()
+
+    # -- numpy <-> object state transfer ------------------------------------
+
+    def _bind_np(self) -> None:
+        """(Re)derive the NumPy working state from the held objects."""
+        l1 = self.l1
+        self._rows_np = np.array(l1.addrs, dtype=np.int64)
+        self._stamp_np = np.array(l1.policy._stamp, dtype=np.int64)
+        self._dirty_np = np.array(l1.dirty, dtype=bool)
+        self._reused_np = np.array(l1.reused, dtype=bool)
+        self._nmru_np = np.array(l1.policy._next_mru, dtype=np.int64)
+        self._valid1_np = np.array(self._valid1, dtype=np.int64)
+
+    def _sync_np(self) -> None:
+        """Write the NumPy working state back to the cache/policy objects.
+
+        ``tolist`` yields native ints/bools, so a subsequent snapshot
+        serialises exactly like the scalar pass.  The dense planes are
+        authoritative for the L1 (the compiled fill bypasses the list
+        rows), so the address rows flow back too.
+        """
+        l1 = self.l1
+        for row, src in zip(l1.addrs, self._rows_np):
+            row[:] = src.tolist()
+        for row, src in zip(l1.policy._stamp, self._stamp_np):
+            row[:] = src.tolist()
+        for row, src in zip(l1.dirty, self._dirty_np):
+            row[:] = src.tolist()
+        for row, src in zip(l1.reused, self._reused_np):
+            row[:] = src.tolist()
+        l1.policy._next_mru[:] = self._nmru_np.tolist()
+        self._valid1[:] = self._valid1_np.tolist()
+
+    def snapshot_state(self) -> dict:
+        self._sync_np()
+        return super().snapshot_state()
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._bind_np()
+
+    # -- the private-level loop ---------------------------------------------
+
+    def run(self, n: int, record: bool = True) -> None:
+        """Process the next *n* accesses; see :meth:`PrivateCoreSim.run`.
+
+        Hit runs go through the array walker; everything else mirrors
+        the scalar loop statement for statement on the same structures.
+        """
+        if n <= 0:
+            return
+        l1, l2 = self.l1, self.l2
+        source = self.source
+        mask1 = l1.set_mask
+        lookup1 = self._lookup1
+        occ1 = l1.occupancy
+        st1 = l1.stats
+        dh1, dm1, om1 = st1.demand_hits, st1.demand_misses, st1.other_misses
+        ev1, dev1, fl1 = st1.evictions, st1.dirty_evictions, st1.fills
+        rows_np = self._rows_np
+        stamp_np = self._stamp_np
+        dirty_np = self._dirty_np
+        reused_np = self._reused_np
+        nmru_np = self._nmru_np
+        walker = self._walker if self._walker is not None else _walk_hits_numpy
+
+        mask2 = l2.set_mask
+        ways2 = l2.ways
+        lookup2, valid2 = self._lookup2, self._valid2
+        l2_get = lookup2.get
+        rows2 = l2.addrs
+        dirty2 = l2.dirty
+        reused2 = l2.reused
+        occ2 = l2.occupancy
+        st2 = l2.stats
+        dh2, dm2 = st2.demand_hits, st2.demand_misses
+        oh2, om2 = st2.other_hits, st2.other_misses
+        wba2 = st2.writeback_arrivals
+        ev2, dev2, fl2 = st2.evictions, st2.dirty_evictions, st2.fills
+        pol2 = l2.policy
+        rrpv2 = pol2.rrpv
+        maxr2 = pol2.max_rrpv
+        psel_val = self._psel_val
+        psel_max = pol2._psel.max_value
+        psel_thr = pol2._psel.threshold
+        tick_cnt = self._tick_cnt
+        tick_phase = pol2._ticker._phase
+        tick_den = pol2._ticker.denominator
+        roles_get = pol2._duel.roles_for(0).get
+
+        pf2 = self.prefetcher
+        pf2_train = pf2.train if pf2 is not None else None
+        l1_pf = self.l1_next_line
+        pf_issued = self.pf_issued
+
+        tape = self.tape
+        if record:
+            steps_append = tape.steps.append
+            steps_extend = tape.steps.extend
+            evs_append = tape.ev_step.append
+            evk_append = tape.ev_kind.append
+            eva_append = tape.ev_addr.append
+            evp_append = tape.ev_pc.append
+        count = self.count
+        ipa = self.instructions_per_access
+
+        def l2_fill(addr, s, insertion, dirty):
+            """Mirror of the fused kernel's ``l2_fill``."""
+            victim_addr = -1
+            victim_dirty = False
+            row = rows2[s]
+            if valid2[s] < ways2:
+                way = row.index(-1)
+                valid2[s] += 1
+            else:
+                rrow = rrpv2[s]
+                current_max = max(rrow)
+                if current_max < maxr2:
+                    delta = maxr2 - current_max
+                    rrow[:] = [v + delta for v in rrow]
+                way = rrow.index(maxr2)
+                victim_addr = row[way]
+                victim_dirty = dirty2[s][way]
+                ev2[0] += 1
+                if victim_dirty:
+                    dev2[0] += 1
+                occ2[0] -= 1
+                del lookup2[victim_addr]
+            row[way] = addr
+            lookup2[addr] = way
+            dirty2[s][way] = dirty
+            reused2[s][way] = False
+            occ2[0] += 1
+            fl2[0] += 1
+            rrpv2[s][way] = insertion
+            return victim_addr, victim_dirty
+
+        def l1_victim_to_l2(addr):
+            """Dirty L1 victim → private L2; may emit a WB0 event."""
+            s = addr & mask2
+            way = l2_get(addr, -1)
+            wba2[0] += 1
+            if way >= 0:
+                oh2[0] += 1
+                dirty2[s][way] = True
+                return
+            om2[0] += 1
+            victim_addr, victim_dirty = l2_fill(addr, s, maxr2, True)
+            if victim_dirty and record:
+                evs_append(count)
+                evk_append(EV_WB0)
+                eva_append(victim_addr)
+                evp_append(0)
+
+        def fetch_nondemand(addr, pc):
+            """Prefetch fill below L1; may emit WB1 + ND events."""
+            nonlocal pf_issued
+            s = addr & mask2
+            way = l2_get(addr, -1)
+            if way >= 0:
+                oh2[0] += 1
+                return
+            om2[0] += 1
+            victim_addr, victim_dirty = l2_fill(addr, s, maxr2, False)
+            if record:
+                if victim_dirty:
+                    evs_append(count)
+                    evk_append(EV_WB1)
+                    eva_append(victim_addr)
+                    evp_append(0)
+                evs_append(count)
+                evk_append(EV_ND)
+                eva_append(addr)
+                evp_append(pc)
+
+        fill = self._fill
+        valid1_np = self._valid1_np
+
+        if fill is not None:
+
+            def l1_insert(addr, si, is_write):
+                """Compiled fill on the dense planes; the residency dict
+                and the boxed stat counters stay Python-side."""
+                way, victim_addr, vdirty = fill(
+                    addr,
+                    si,
+                    is_write,
+                    rows_np,
+                    stamp_np,
+                    dirty_np,
+                    reused_np,
+                    nmru_np,
+                    valid1_np,
+                )
+                victim_addr = int(victim_addr)
+                victim_dirty = bool(vdirty)
+                if victim_addr >= 0:
+                    ev1[0] += 1
+                    if victim_dirty:
+                        dev1[0] += 1
+                    occ1[0] -= 1
+                    del lookup1[victim_addr]
+                lookup1[addr] = way
+                occ1[0] += 1
+                fl1[0] += 1
+                return victim_addr, victim_dirty
+
+        else:
+
+            def l1_insert(addr, si, is_write):
+                """The scalar L1 fill (demand and next-line paths share
+                it): :func:`_fill_py` on the dense planes, plus the same
+                residency-dict and stat bookkeeping as the scalar loop.
+                ``_fill_py`` picks the first minimum-stamp victim exactly
+                like the scalar ``srow.index(min(srow))``.
+                """
+                way, victim_addr, victim_dirty = _fill_py(
+                    addr,
+                    si,
+                    is_write,
+                    rows_np,
+                    stamp_np,
+                    dirty_np,
+                    reused_np,
+                    nmru_np,
+                    valid1_np,
+                )
+                victim_addr = int(victim_addr)
+                victim_dirty = bool(victim_dirty)
+                if victim_addr >= 0:
+                    ev1[0] += 1
+                    if victim_dirty:
+                        dev1[0] += 1
+                    occ1[0] -= 1
+                    del lookup1[victim_addr]
+                lookup1[addr] = way
+                occ1[0] += 1
+                fl1[0] += 1
+                return victim_addr, victim_dirty
+
+        buf = self._buf
+        pos = self._pos
+        length = self._len
+        remaining = n
+        while remaining:
+            if pos >= length:
+                if buf is not None:
+                    source.commit(pos)
+                # With no buffer yet (fresh or restored sim) the source's
+                # own position is authoritative — committing the local one
+                # would rewind a state-advanced source.
+                arr_a, arr_p, arr_w, pos = source.next_chunk()
+                buf = (arr_a, arr_a & mask1, arr_p, arr_w)
+                length = len(arr_a)
+            buf_a, buf_s, buf_p, buf_w = buf
+            take = length - pos
+            if take > remaining:
+                take = remaining
+            remaining -= take
+            end = pos + take
+            get1 = lookup1.get
+            while pos < end:
+                addr = int(buf_a[pos])
+                if get1(addr, -1) >= 0:
+                    # At least one hit: hand the run to the array walker
+                    # (the dict probe keeps pure-miss stretches from
+                    # paying the walker dispatch for an empty run).
+                    k = int(
+                        walker(
+                            buf_a,
+                            buf_s,
+                            buf_w,
+                            pos,
+                            end,
+                            rows_np,
+                            stamp_np,
+                            dirty_np,
+                            reused_np,
+                            nmru_np,
+                        )
+                    )
+                    dh1[0] += k
+                    if record:
+                        steps_extend(bytes(k))  # STEP_HIT == 0
+                    pos += k
+                    count += k
+                    if pos >= end:
+                        break
+                    addr = int(buf_a[pos])
+
+                # -- the access at *pos* is an L1 miss: scalar mirror -------
+                si = int(buf_s[pos])
+                pc = int(buf_p[pos])
+                is_write = bool(buf_w[pos])
+                dm1[0] += 1
+                victim_addr, victim_dirty = l1_insert(addr, si, is_write)
+                if victim_dirty:
+                    l1_victim_to_l2(victim_addr)
+
+                # fetch_below: the demand path into the L2.
+                s = addr & mask2
+                way = l2_get(addr, -1)
+                if way >= 0:
+                    dh2[0] += 1
+                    reused2[s][way] = True
+                    rrpv2[s][way] = 0  # demand-hit promotion
+                    if record:
+                        steps_append(STEP_L2HIT)
+                else:
+                    dm2[0] += 1
+                    # DRRIP on_miss + decide_insertion (demand).
+                    leader = roles_get(s, -1)
+                    if leader == 0:  # SRRIP leader missed
+                        value = psel_val + 1
+                        psel_val = value if value <= psel_max else psel_max
+                    elif leader == 1:  # BRRIP leader missed
+                        value = psel_val - 1
+                        psel_val = value if value >= 0 else 0
+                    if leader == 0:
+                        insertion = maxr2 - 1
+                    elif leader == 1 or psel_val >= psel_thr:
+                        fired = tick_cnt == tick_phase
+                        tick_cnt += 1
+                        if tick_cnt == tick_den:
+                            tick_cnt = 0
+                        insertion = maxr2 - 1 if fired else maxr2
+                    else:
+                        insertion = maxr2 - 1
+                    victim_addr, victim_dirty = l2_fill(addr, s, insertion, False)
+                    if victim_dirty and record:
+                        evs_append(count)
+                        evk_append(EV_WB1)
+                        eva_append(victim_addr)
+                        evp_append(0)
+                    if pf2_train is not None:
+                        for pfa in pf2_train(pc, addr):
+                            if pfa >= 0 and pfa not in lookup2:
+                                pf_issued += 1
+                                fetch_nondemand(pfa, pc)
+                    if record:
+                        evs_append(count)
+                        evk_append(EV_DEMAND)
+                        eva_append(addr)
+                        evp_append(pc)
+                        steps_append(STEP_LLC)
+
+                if l1_pf:
+                    pfa = addr + 1
+                    if pfa not in lookup1:
+                        pf_issued += 1
+                        om1[0] += 1
+                        v_addr, v_dirty = l1_insert(pfa, pfa & mask1, False)
+                        if v_dirty:
+                            l1_victim_to_l2(v_addr)
+                        fetch_nondemand(pfa, pc)
+                pos += 1
+                count += 1
+
+        source.commit(pos)
+        self._buf = buf
+        self._pos = pos
+        self._len = length
+        consumed = count - self.count
+        # The scalar ``instr += ipa`` recurrence is a left fold, which one
+        # sequential cumsum over ``[instr, ipa, ipa, ...]`` replays with
+        # the identical float-op order — bit-for-bit.
+        inc = np.empty(consumed + 1)
+        inc[0] = self.instr
+        inc[1:] = ipa
+        self.instr = float(np.cumsum(inc)[consumed])
+        self.count = count
+        self.pf_issued = pf_issued
+        self._psel_val = psel_val
+        self._tick_cnt = tick_cnt
+        self.sync()
+        # Leave the held objects consistent after every run() — the replay
+        # finaliser's reconstruction reads them directly (no snapshot), so
+        # a drop-in vec sim must not defer the write-back.
+        self._sync_np()
+        if record:
+            tape.length = count
+
+
+# -- the capture driver --------------------------------------------------------
+
+
+def capture_workload_vec(
+    benchmarks: tuple[str, ...],
+    config,
+    quota: int,
+    warmup: int,
+    master_seed: int = 0,
+    slack: float | None = None,
+) -> cap.CaptureBundle:
+    """:func:`repro.cpu.capture.capture_workload`, on the array kernel.
+
+    Identical meta, boundaries and artifact content — only the per-core
+    simulator differs, and the golden capture differential proves the
+    output byte-identical.
+    """
+    walker, fill = (None, None)
+    if vec_backend() == "numba":
+        walker, fill = _numba_kernels()
+
+    def factory(l1, l2, prefetcher, l1_next_line, source, tape):
+        return VecPrivateCoreSim(
+            l1, l2, prefetcher, l1_next_line, source, tape, walker=walker, fill=fill
+        )
+
+    return cap.capture_workload(
+        benchmarks, config, quota, warmup, master_seed, slack, sim_cls=factory
+    )

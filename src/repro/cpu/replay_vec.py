@@ -53,6 +53,7 @@ differential suite machine-checks the equivalence on every fixture.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from heapq import heappop, heappush
 
 import numpy as np
@@ -278,12 +279,58 @@ def _build_core_plan(tape, consts) -> dict:
     }
 
 
+#: Worker-process-local decode-plane cache, keyed by the owning artifact's
+#: content address (plus the decode constants).  A sweep's policies land on
+#: the same worker under the supervisor's sticky affinity routing, so the
+#: expensive SoA event decode happens once per (worker, artifact) instead
+#: of once per job — ``plane_hits``/``plane_misses`` surface in
+#: ``runner.stats``.  Bounded LRU (``REPRO_PLANE_CACHE``, default 8): a
+#: plane set is a few flat arrays per core, but a long-lived worker crossing
+#: many artifacts must not accumulate them unboundedly.
+_PLANE_CACHE: OrderedDict[tuple, dict] = OrderedDict()
+
+#: Monotonic per-process counters; the parallel runner ships per-task
+#: deltas back over the wire and aggregates them into ``runner.stats``.
+PLANE_STATS = {"plane_hits": 0, "plane_misses": 0}
+
+
+def plane_cache_limit() -> int:
+    """``REPRO_PLANE_CACHE``: decoded plane sets kept per process (>= 1)."""
+    try:
+        value = int(os.environ.get("REPRO_PLANE_CACHE", ""))
+    except ValueError:
+        value = 0
+    return value if value > 0 else 8
+
+
 def _bundle_cache(bundle, consts) -> dict:
-    """The bundle's vec-plane cache, (re)initialised for *consts*."""
-    cache = bundle.vec_cache
-    if cache is None or cache["consts"] != consts:
+    """The bundle's vec-plane cache, (re)initialised for *consts*.
+
+    Content-keyed bundles (loaded from a replay artifact) resolve through
+    the process-wide LRU, so the planes survive the bundle objects and are
+    shared across jobs; an anonymous in-process bundle keeps its cache on
+    the instance as before.
+    """
+    content = getattr(bundle, "content_key", None)
+    if content is None:
+        cache = bundle.vec_cache
+        if cache is None or cache["consts"] != consts:
+            cache = {"consts": consts, "cores": {}, "sigs": {}}
+            bundle.vec_cache = cache
+        return cache
+    key = (content, consts)
+    cache = _PLANE_CACHE.get(key)
+    if cache is None:
+        PLANE_STATS["plane_misses"] += 1
         cache = {"consts": consts, "cores": {}, "sigs": {}}
-        bundle.vec_cache = cache
+        _PLANE_CACHE[key] = cache
+        limit = plane_cache_limit()
+        while len(_PLANE_CACHE) > limit:
+            _PLANE_CACHE.popitem(last=False)
+    else:
+        PLANE_STATS["plane_hits"] += 1
+        _PLANE_CACHE.move_to_end(key)
+    bundle.vec_cache = cache
     return cache
 
 

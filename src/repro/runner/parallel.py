@@ -21,6 +21,16 @@ falls back to ``os.cpu_count()``; ``jobs=1`` executes inline in the
 calling process (no pool, no pickling), which is also the automatic
 fast path for single-job batches.
 
+Policy sweeps additionally run a once-per-platform private-level
+*capture* pass (:mod:`repro.runner.replaystore`) so every swept job can
+execute on the LLC-only replay kernel.  By default captures and sim jobs
+share one dependency-edged queue: each sweep's replays are submitted the
+moment *its* capture's manifest entry lands, so a slow capture never
+stalls unrelated sweeps, and sticky affinity routing keeps a sweep's
+capture and replays on one worker (warm decoded-plane and bundle
+caches).  ``REPRO_NO_PIPELINE`` restores the two-phase barrier flow;
+results are bit-identical either way.
+
 Execution is *supervised* (:mod:`repro.runner.supervisor`): every miss
 is submitted as its own future and collected in completion order, so a
 worker exception, hang or death costs one job — retried with backoff,
@@ -82,6 +92,29 @@ def _job_trace_identities(job: Job) -> list[tuple]:
     ]
 
 
+def pipelining_enabled() -> bool:
+    """Is the barrier-free capture→replay scheduler on (the default)?
+
+    ``REPRO_NO_PIPELINE`` (non-empty, not ``0``) restores the two-phase
+    barrier flow — every capture completes before any replay job is
+    submitted.  Results are bit-identical either way; only wall clock
+    differs.
+    """
+    return os.environ.get("REPRO_NO_PIPELINE", "").strip().lower() in ("", "0")
+
+
+def _counters_snapshot() -> dict:
+    """Per-process cache counters the runner aggregates across workers."""
+    from repro.cpu.replay_vec import PLANE_STATS
+    from repro.runner.replaystore import REGISTRY_STATS
+
+    return {
+        "plane_hits": PLANE_STATS["plane_hits"],
+        "plane_misses": PLANE_STATS["plane_misses"],
+        "bundle_loads": REGISTRY_STATS["bundle_loads"],
+    }
+
+
 def _execute_payload(task: tuple[dict, list[dict], list[dict], str, int]) -> dict:
     """Worker entry point: dict in, dict out — nothing exotic crosses the pipe.
 
@@ -91,17 +124,47 @@ def _execute_payload(task: tuple[dict, list[dict], list[dict], str, int]) -> dic
     each buffer once — and a *fresh* worker after a pool rebuild needs no
     re-initialisation beyond its first task.  The job's cache key and
     attempt number ride along too, for the fault-injection harness.
+
+    The wire dict carries a ``_counters`` delta (plane-cache hits/misses,
+    bundle loads) that the parent strips and folds into ``runner.stats``.
     """
     payload, manifest, replay_manifest, key, attempt = task
     if manifest:
         install_manifest(manifest)
     install_replay_manifest(replay_manifest)
     faults.maybe_fail(key, attempt, allow_exit=True)
-    return job_from_dict(payload).execute().to_dict()
+    before = _counters_snapshot()
+    result = job_from_dict(payload).execute().to_dict()
+    after = _counters_snapshot()
+    result["_counters"] = {name: after[name] - before[name] for name in after}
+    return result
+
+
+def _execute_task(task: tuple[str, object]) -> object:
+    """Worker entry point for the pipelined scheduler: tagged tasks.
+
+    One pool serves both job families, so a worker alternates freely
+    between ``("capture", ...)`` and ``("sim", ...)`` tasks as the
+    dependency-edged queue drains.
+    """
+    tag, inner = task
+    if tag == "capture":
+        payload, manifest, key, attempt = inner
+        if manifest:
+            install_manifest(manifest)
+        faults.maybe_fail(key, attempt, allow_exit=True)
+        try:
+            return _materialise_capture(payload)
+        except Exception:
+            # Replay is a pure optimisation: a failed capture costs its
+            # manifest entry, never the batch — the affected sweep runs
+            # on the fused kernel instead.
+            return None
+    return _execute_payload(inner)
 
 
 def _execute_capture(task: tuple[dict, list[dict]]) -> dict | None:
-    """Worker entry point for one capture job; returns its manifest entry.
+    """Worker entry point for one barrier-phase capture job.
 
     Captures are scheduled ahead of the replay jobs that depend on them;
     the shared-trace manifest is installed first so the capture pass
@@ -113,22 +176,31 @@ def _execute_capture(task: tuple[dict, list[dict]]) -> dict | None:
     if manifest:
         install_manifest(manifest)
     try:
-        from repro.cpu import replay_vec
-
-        if replay_vec.replay_vec_requested():
-            # Resolve and JIT-compile the array-native backend while the
-            # capture is the batch's critical path, so the first swept
-            # replay in this worker doesn't pay the compilation stall.
-            replay_vec.warm_backend()
-        return ReplayStore(payload["root"]).materialise(
-            tuple(payload["benchmarks"]),
-            _config_from(payload["config"]),
-            payload["quota"],
-            payload["warmup"],
-            payload["master_seed"],
-        )
+        return _materialise_capture(payload)
     except Exception:
         return None
+
+
+def _materialise_capture(payload: dict) -> dict:
+    """Run one capture job (in a worker or inline); returns its entry.
+
+    JIT-compiles any requested array-native backend first, while the
+    capture is the batch's critical path, so the first swept replay in
+    this worker doesn't pay the compilation stall.
+    """
+    from repro.cpu import capture_vec, replay_vec
+
+    if replay_vec.replay_vec_requested():
+        replay_vec.warm_backend()
+    if capture_vec.capture_vec_requested():
+        capture_vec.warm_backend()
+    return ReplayStore(payload["root"]).materialise(
+        tuple(payload["benchmarks"]),
+        _config_from(payload["config"]),
+        payload["quota"],
+        payload["warmup"],
+        payload["master_seed"],
+    )
 
 
 def _config_from(data: dict):
@@ -178,8 +250,13 @@ class ParallelRunner:
         self._trace_tmpdir: tempfile.TemporaryDirectory | None = None
         #: Lifetime counters: ``store_hits`` results re-read from disk,
         #: ``executed`` simulations completed (counted per job, as each
-        #: finishes), ``failed`` jobs quarantined after retries, plus the
-        #: supervisor's ``retried``/``timeouts``/``pool_rebuilds``.
+        #: finishes), ``failed`` jobs quarantined after retries, the
+        #: supervisor's ``retried``/``timeouts``/``pool_rebuilds`` and
+        #: sticky-routing ``sticky_hits``/``sticky_misses``, plus the
+        #: cache-affinity counters aggregated across workers:
+        #: ``bundle_loads`` (replay artifacts read from disk) and
+        #: ``plane_hits``/``plane_misses`` (decoded-plane cache, see
+        #: :mod:`repro.cpu.replay_vec`).
         self.stats = {
             "store_hits": 0,
             "executed": 0,
@@ -187,6 +264,11 @@ class ParallelRunner:
             "retried": 0,
             "timeouts": 0,
             "pool_rebuilds": 0,
+            "sticky_hits": 0,
+            "sticky_misses": 0,
+            "plane_hits": 0,
+            "plane_misses": 0,
+            "bundle_loads": 0,
         }
         #: Every quarantined job over the runner's lifetime, and the
         #: subset from the most recent :meth:`run` batch.
@@ -249,16 +331,21 @@ class ParallelRunner:
             workers=min(self.jobs, len(misses)) if len(misses) > 1 else 1,
             policy=self.retry,
         )
+        counters_before = _counters_snapshot()
         try:
-            # Capture jobs run ahead of the replay jobs that depend on
-            # them (they need the trace manifest installed in workers).
-            replay_manifest = self._prepare_replays(
-                [job for _, job in misses], manifest, supervisor
-            )
-            install_replay_manifest(replay_manifest)
-            for key, job, outcome in self._execute(
-                supervisor, misses, manifest, replay_manifest
-            ):
+            plan = self._plan_captures([job for _, job in misses])
+            if plan and pipelining_enabled():
+                # Barrier-free: capture and replay jobs share one
+                # dependency-edged queue — each sweep's replays are
+                # submitted the moment *its* capture's entry lands.
+                iterator = self._execute_pipelined(supervisor, misses, manifest, plan)
+            else:
+                # Two-phase barrier: capture jobs run ahead of every
+                # replay job (they need the trace manifest in workers).
+                replay_manifest = self._prepare_replays(plan, manifest, supervisor)
+                install_replay_manifest(replay_manifest)
+                iterator = self._execute(supervisor, misses, manifest, replay_manifest)
+            for key, job, outcome in iterator:
                 if isinstance(outcome, FailureRecord):
                     self.stats["failed"] += 1
                     self.failures.append(outcome)
@@ -277,6 +364,9 @@ class ParallelRunner:
         finally:
             for name, value in supervisor.stats.items():
                 self.stats[name] += value
+            counters_after = _counters_snapshot()
+            for name in counters_after:
+                self.stats[name] += counters_after[name] - counters_before[name]
             clear_replay_manifest()
             if manifest:
                 clear_manifest()
@@ -295,6 +385,14 @@ class ParallelRunner:
     ):
         if not misses:
             return iter(())
+
+        def decode(job, data):
+            counters = data.pop("_counters", None)
+            if counters:
+                for name, value in counters.items():
+                    self.stats[name] = self.stats.get(name, 0) + value
+            return job.result_from_dict(data)
+
         return supervisor.run_jobs(
             misses,
             worker_fn=_execute_payload,
@@ -306,7 +404,7 @@ class ParallelRunner:
                 attempt,
             ),
             inline_fn=lambda key, job: job.execute(),
-            decode=lambda job, data: job.result_from_dict(data),
+            decode=decode,
         )
 
     # -- shared traces -----------------------------------------------------------
@@ -380,29 +478,21 @@ class ParallelRunner:
 
     # -- replay captures ---------------------------------------------------------
 
-    def _prepare_replays(
-        self,
-        jobs: list[Job],
-        trace_manifest: list[dict],
-        supervisor: Supervisor,
-    ) -> list[dict]:
-        """Capture the private-level streams of every swept platform.
+    def _plan_captures(self, jobs: list[Job]) -> dict[tuple, dict]:
+        """Swept capture identities of a miss batch, with worker payloads.
 
         A *sweep* is two or more miss jobs sharing one capture identity —
         same workload, private-level platform and budgets, different LLC
-        policy.  One capture job runs per identity, scheduled through the
-        batch's worker pool ahead of it (captures parallelise across
-        identities and warm the workers' buffer mappings), and the
-        resulting manifest makes every swept job execute on the
-        LLC-filtered replay kernel.  Returns ``[]`` when sharing is off,
-        nothing is swept, or capture fails — every failure mode falls
-        back to the fused kernel, which is always equivalent.
+        policy.  Returns ``{identity: payload}`` (the payload already
+        carries the store root); empty when sharing is off, replay is
+        disabled, nothing is swept, or the store root is unavailable —
+        every one of which degrades to the fused kernel.
         """
         from repro.cpu.replay import replay_enabled
         from repro.sim.build import capture_identity
 
         if not self.share_traces or len(jobs) < 2 or not replay_enabled():
-            return []
+            return {}
         counts: dict[tuple, int] = {}
         payloads: dict[tuple, dict] = {}
         for job in jobs:
@@ -424,21 +514,129 @@ class ParallelRunner:
             )
         swept = [ident for ident, count in counts.items() if count >= 2]
         if not swept:
-            return []
+            return {}
         try:
             root = str(self.trace_store().root)
         except OSError:
-            return []
-        tasks = []
+            return {}
+        plan: dict[tuple, dict] = {}
         for ident in swept:
             payload = dict(payloads[ident])
             payload["root"] = root
-            tasks.append((payload, trace_manifest))
-        # Captures are pure optimisation: a failed (or crashed) capture
-        # costs its manifest entry, never the batch — the affected sweep
-        # runs on the fused kernel instead.
+            plan[ident] = payload
+        return plan
+
+    def _prepare_replays(
+        self,
+        plan: dict[tuple, dict],
+        trace_manifest: list[dict],
+        supervisor: Supervisor,
+    ) -> list[dict]:
+        """Barrier-phase capture: run every planned capture to completion.
+
+        One capture job runs per swept identity, scheduled through the
+        batch's worker pool ahead of it (captures parallelise across
+        identities and warm the workers' buffer mappings), and the
+        resulting manifest makes every swept job execute on the
+        LLC-filtered replay kernel.  A failed capture costs its entry,
+        never the batch — the affected sweep runs on the fused kernel.
+        """
+        if not plan:
+            return []
+        tasks = [(payload, trace_manifest) for payload in plan.values()]
         entries = supervisor.map_resilient(_execute_capture, tasks)
         return [entry for entry in entries if entry]
+
+    def _execute_pipelined(
+        self,
+        supervisor: Supervisor,
+        misses: list[tuple[str, Job]],
+        manifest: list[dict],
+        plan: dict[tuple, dict],
+    ):
+        """Dependency-edged execution: captures and sims share one queue.
+
+        Every planned capture becomes a supervised job; each swept sim
+        job depends on its capture's key, so the supervisor withholds it
+        until the capture's manifest entry lands — and unrelated jobs
+        flow freely around a slow (or hung, or crashed) capture.  Capture
+        outcomes are folded into the growing replay manifest here and
+        never surface to the caller; only sim outcomes are yielded.
+
+        Both job families carry the capture artifact's path as their
+        affinity token, so the supervisor's sticky routing lands a
+        sweep's capture *and* its replays on one worker — the worker that
+        decoded the bundle's planes keeps serving it (``plane_hits`` /
+        ``bundle_loads`` in :attr:`stats` make the reuse observable).
+        """
+        from repro.cpu.capture import replay_slack
+        from repro.runner.replaystore import replay_key
+        from repro.sim.build import capture_identity
+
+        slack = replay_slack()
+        capture_jobs: list[tuple[str, dict]] = []
+        routes: dict[tuple, tuple[str, str]] = {}
+        affinity: dict[str, str] = {}
+        for identity, payload in plan.items():
+            key = replay_key(identity, slack)
+            ckey = f"capture:{key}"
+            token = str(ReplayStore(payload["root"]).path_for(key))
+            routes[identity] = (ckey, token)
+            capture_jobs.append((ckey, payload))
+            affinity[ckey] = token
+        dependencies: dict[str, str] = {}
+        for key, job in misses:
+            if job.kind != "workload":
+                continue
+            identity = capture_identity(
+                job.benchmarks, job.config, job.quota, job.warmup, job.master_seed
+            )
+            route = routes.get(identity)
+            if route is not None:
+                dependencies[key] = route[0]
+                affinity[key] = route[1]
+        capture_keys = {ckey for ckey, _ in capture_jobs}
+        replay_manifest: list[dict] = []
+
+        def task_for(key, job, attempt):
+            if key in capture_keys:
+                return ("capture", (job, manifest, key, attempt))
+            # Snapshot at submit time: the job's capture (if any) has
+            # already landed, so its entry is aboard.
+            return ("sim", (job.to_dict(), manifest, list(replay_manifest), key, attempt))
+
+        def inline_fn(key, job):
+            if key in capture_keys:
+                return _materialise_capture(job)
+            return job.execute()
+
+        def decode(job, data):
+            if not isinstance(job, Job):
+                return data  # capture outcome: the manifest entry (or None)
+            counters = data.pop("_counters", None)
+            if counters:
+                for name, value in counters.items():
+                    self.stats[name] = self.stats.get(name, 0) + value
+            return job.result_from_dict(data)
+
+        for key, job, outcome in supervisor.run_jobs(
+            capture_jobs + list(misses),
+            worker_fn=_execute_task,
+            task_for=task_for,
+            inline_fn=inline_fn,
+            decode=decode,
+            dependencies=dependencies,
+            affinity=affinity,
+        ):
+            if key in capture_keys:
+                # A FailureRecord or None here only costs the sweep its
+                # replay kernel; the parent install keeps inline
+                # execution and the manifest snapshots coherent.
+                if isinstance(outcome, dict):
+                    replay_manifest.append(outcome)
+                    install_replay_manifest(replay_manifest)
+                continue
+            yield key, job, outcome
 
     # -- store plumbing ----------------------------------------------------------
 

@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
@@ -185,7 +186,14 @@ class ReplayStore:
         warmup: int,
         master_seed: int,
     ) -> dict:
-        """Capture (or find) one artifact; returns its manifest entry."""
+        """Capture (or find) one artifact; returns its manifest entry.
+
+        A fresh capture runs on the kernel :func:`repro.sim.multi.
+        capture_kernel` resolves — the array-native pass when
+        ``REPRO_CAPTURE_VEC`` is set (falling back to the scalar pass on
+        any kernel failure; artifacts are byte-identical either way, so
+        the fallback is invisible downstream).
+        """
         from repro.cpu.capture import capture_workload, replay_slack
         from repro.sim.build import capture_identity
 
@@ -200,9 +208,22 @@ class ReplayStore:
         if path.is_file():
             self.stats["reused"] += 1
         else:
-            bundle = capture_workload(
-                tuple(benchmarks), config, quota, warmup, master_seed, slack
-            )
+            bundle = None
+            from repro.cpu import capture_vec
+
+            if capture_vec.capture_vec_enabled():
+                try:
+                    bundle = capture_vec.capture_workload_vec(
+                        tuple(benchmarks), config, quota, warmup, master_seed, slack
+                    )
+                except Exception:
+                    # The scalar pass produces the identical artifact, so
+                    # a vec-kernel failure only costs the speedup.
+                    bundle = None
+            if bundle is None:
+                bundle = capture_workload(
+                    tuple(benchmarks), config, quota, warmup, master_seed, slack
+                )
             save_bundle(bundle, path)
             write_checksum(path)
             faults.corrupt_artifact("replay", path, path.name)
@@ -214,12 +235,18 @@ class ReplayStore:
 
 #: Identity tuple -> artifact path, installed from a manifest.
 _ACTIVE: dict[tuple, str] = {}
-#: Path -> loaded bundle, so repeated installs/jobs reuse one load (and
-#: share any live tape extensions within the process).  Bounded: a loaded
-#: bundle expands its arrays into Python lists, so an unbounded cache
-#: would grow a long-lived parent process by one platform per sweep.
-_BUNDLES: dict[str, CaptureBundle | None] = {}
+#: Path -> loaded bundle (LRU), so repeated installs/jobs reuse one load
+#: (and share any live tape extensions within the process).  Bounded: a
+#: loaded bundle expands its arrays into Python lists, so an unbounded
+#: cache would grow a long-lived worker by one platform per sweep.
+_BUNDLES: "OrderedDict[str, CaptureBundle | None]" = OrderedDict()
 _BUNDLE_CACHE_LIMIT = 4
+
+#: Monotonic per-process counter of artifact loads from disk; the parallel
+#: runner ships per-task deltas back and aggregates them into
+#: ``runner.stats`` — under sticky affinity routing a sweep should load
+#: each artifact once per worker, not once per job.
+REGISTRY_STATS = {"bundle_loads": 0}
 
 
 def _freeze(identity) -> tuple:
@@ -262,7 +289,7 @@ def active_replay_bundle(
         return None
     if path not in _BUNDLES:
         while len(_BUNDLES) >= _BUNDLE_CACHE_LIMIT:
-            _BUNDLES.pop(next(iter(_BUNDLES)))
+            _BUNDLES.popitem(last=False)
         if verify_artifact(path) is False:
             # Checksum mismatch: a corrupt .npz may still *load* with
             # wrong tape data, so quarantine instead of trusting it.
@@ -274,5 +301,12 @@ def active_replay_bundle(
                 # Structurally unreadable (truncated/damaged npz): the
                 # next materialise should re-capture, not re-reuse it.
                 quarantine(path, reason="replay unreadable")
+            if bundle is not None:
+                REGISTRY_STATS["bundle_loads"] += 1
+                # Content address of the artifact: keys the worker-local
+                # decode-plane cache in :mod:`repro.cpu.replay_vec`.
+                bundle.content_key = Path(path).name
             _BUNDLES[path] = bundle
+    else:
+        _BUNDLES.move_to_end(path)
     return _BUNDLES[path]

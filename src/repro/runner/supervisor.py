@@ -22,6 +22,20 @@ explicit and bounded:
   supervisor degrades to inline execution in the parent, which cannot
   lose the batch.
 
+Two scheduling refinements serve the pipelined capture→replay flow:
+
+* **dependency edges** — :meth:`Supervisor.run_jobs` accepts a
+  ``dependencies`` map (job key → key of another job in the batch); a
+  dependent job is withheld until its dependency's outcome has been
+  *yielded*, success or quarantine alike (edges order work, they never
+  veto it), so the caller can fold the dependency's product into the
+  dependent's payload before it is built;
+* **sticky affinity routing** — with an ``affinity`` map (job key →
+  token) and two or more workers, the supervisor runs one single-worker
+  pool per slot and prefers the slot that last ran a token unless it is
+  overloaded, so process-local caches keyed by that token (decoded
+  replay planes, loaded bundles) stay hot across a sweep.
+
 Workers need no special re-initialisation after a rebuild: the shared
 trace and replay manifests ride along inside every task payload, so a
 fresh worker re-installs them on its first task.
@@ -158,8 +172,18 @@ class Supervisor:
         self.workers = max(0, workers)
         self.policy = policy or RetryPolicy.from_env()
         self._pool: ProcessPoolExecutor | None = None
+        #: Sticky mode: one single-worker pool per slot index.
+        self._pools: dict[int, ProcessPoolExecutor] = {}
+        #: Affinity token -> the slot that last ran it.
+        self._affinity_home: dict[object, int] = {}
         self._degraded = self.workers <= 1
-        self.stats = {"retried": 0, "timeouts": 0, "pool_rebuilds": 0}
+        self.stats = {
+            "retried": 0,
+            "timeouts": 0,
+            "pool_rebuilds": 0,
+            "sticky_hits": 0,
+            "sticky_misses": 0,
+        }
 
     # -- pool lifecycle ----------------------------------------------------------
 
@@ -173,15 +197,36 @@ class Supervisor:
         return self._pool
 
     def shutdown(self, *, cancel: bool = False) -> None:
-        """Release the pool; *cancel* drops queued work instead of draining
-        it (the error path must not block behind a failing batch)."""
-        pool, self._pool = self._pool, None
-        if pool is not None:
+        """Release every pool; *cancel* drops queued work instead of
+        draining it (the error path must not block behind a failing batch)."""
+        pools = [self._pool] if self._pool is not None else []
+        pools.extend(self._pools.values())
+        self._pool = None
+        self._pools.clear()
+        for pool in pools:
             pool.shutdown(wait=not cancel, cancel_futures=cancel)
 
+    def _pool_at(self, idx: int) -> ProcessPoolExecutor:
+        """The executor for slot *idx* (``-1`` = the shared pool), lazily."""
+        if idx < 0:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+        pool = self._pools.get(idx)
+        if pool is None:
+            pool = self._pools[idx] = ProcessPoolExecutor(max_workers=1)
+        return pool
+
     def _discard_pool(self) -> None:
-        """Abandon the current pool (broken, or holding a hung worker)."""
-        pool, self._pool = self._pool, None
+        """Abandon the shared pool (broken, or holding a hung worker)."""
+        self._discard_at(-1)
+
+    def _discard_at(self, idx: int) -> None:
+        """Abandon one pool slot; too many rebuilds degrade to inline."""
+        if idx < 0:
+            pool, self._pool = self._pool, None
+        else:
+            pool = self._pools.pop(idx, None)
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
         self.stats["pool_rebuilds"] += 1
@@ -231,6 +276,8 @@ class Supervisor:
         task_for: Callable[[str, object, int], object],
         inline_fn: Callable[[str, object], object],
         decode: Callable[[object, object], object],
+        dependencies: dict[str, str] | None = None,
+        affinity: dict[str, object] | None = None,
     ) -> Iterator[tuple[str, object, object]]:
         """Execute every ``(key, job)``; yield ``(key, job, outcome)`` in
         completion order, where *outcome* is a decoded result or a
@@ -239,13 +286,53 @@ class Supervisor:
         *worker_fn* is the picklable pool entry point, *task_for* builds
         its payload per attempt, *inline_fn* executes one job in the
         parent, *decode* turns a worker's wire dict into a result object.
+
+        *dependencies* maps a job key to the key of another job in the
+        same batch: the dependent is withheld until the dependency's
+        outcome has been yielded — success or quarantine alike (edges
+        order work, they never veto it), so *task_for* runs after the
+        caller has seen the dependency's product.  Edges pointing outside
+        the batch (or at the job itself) are ignored.
+
+        *affinity* maps job keys to routing tokens.  With two or more
+        workers the supervisor then runs one single-worker pool per slot
+        and prefers the slot that last ran a token unless that slot holds
+        more than one job over the lightest (``sticky_hits`` /
+        ``sticky_misses`` in :attr:`stats` count the routing outcomes),
+        keeping per-process caches keyed by the token warm across a sweep.
         """
-        queue: deque[tuple[str, object, int]] = deque(
-            (key, job, 0) for key, job in misses
-        )
+        keys = {key for key, _ in misses}
+        deps = {
+            key: dep
+            for key, dep in (dependencies or {}).items()
+            if key in keys and dep in keys and dep != key
+        }
+        blocked: dict[str, list[tuple[str, object, int]]] = {}
+        queue: deque[tuple[str, object, int]] = deque()
+        for key, job in misses:
+            dep = deps.get(key)
+            if dep is None:
+                queue.append((key, job, 0))
+            else:
+                blocked.setdefault(dep, []).append((key, job, 0))
+
+        def release(done_key: str) -> None:
+            for entry in blocked.pop(done_key, ()):
+                queue.append(entry)
+
+        sticky = bool(affinity) and self.workers >= 2
         waiting: list[tuple[float, str, object, int]] = []
-        active: dict[Future, list] = {}  # future -> [key, job, attempt, deadline]
-        while queue or waiting or active:
+        # future -> [key, job, attempt, deadline, pool slot]
+        active: dict[Future, list] = {}
+        while queue or waiting or active or blocked:
+            if blocked and not (queue or waiting or active):
+                # Fail-open: a dangling edge (dependency yielded before
+                # its dependents were registered, or a logic error in the
+                # caller's map) must never deadlock the batch.
+                for entries in list(blocked.values()):
+                    queue.extend(entries)
+                blocked.clear()
+                continue
             now = time.monotonic()
             if waiting:
                 due = [entry for entry in waiting if entry[0] <= now]
@@ -253,8 +340,7 @@ class Supervisor:
                     waiting = [entry for entry in waiting if entry[0] > now]
                     for _, key, job, attempt in due:
                         queue.append((key, job, attempt))
-            pool = self.pool
-            if pool is None:
+            if self._degraded or self.workers <= 1:
                 # Inline (or degraded) mode: one due job at a time, same
                 # retry/quarantine path, no preemption so no timeouts.
                 if queue:
@@ -266,21 +352,31 @@ class Supervisor:
                         )
                     else:
                         yield key, job, outcome
+                        release(key)
                 elif waiting:
                     self._sleep_until(min(entry[0] for entry in waiting))
                 continue
-            broken = False
+            loads: dict[int, int] = {}
+            for flight in active.values():
+                loads[flight[4]] = loads.get(flight[4], 0) + 1
+            broken_slot: int | None = None
             while queue:
                 key, job, attempt = queue.popleft()
+                slot = self._route(key, affinity, loads) if sticky else -1
                 try:
-                    future = pool.submit(worker_fn, task_for(key, job, attempt))
+                    future = self._pool_at(slot).submit(
+                        worker_fn, task_for(key, job, attempt)
+                    )
                 except BrokenProcessPool:
                     queue.appendleft((key, job, attempt))
-                    broken = True
+                    broken_slot = slot
                     break
-                active[future] = [key, job, attempt, None]
-            if broken:
-                self._requeue_in_flight(active, queue, charge_attempt=True)
+                active[future] = [key, job, attempt, None, slot]
+                loads[slot] = loads.get(slot, 0) + 1
+            if broken_slot is not None:
+                self._requeue_in_flight(
+                    active, queue, charge_attempt=True, slot=broken_slot
+                )
                 continue
             if not active:
                 if waiting:
@@ -288,14 +384,16 @@ class Supervisor:
                 continue
             timeout = self._wait_timeout(active, waiting)
             done, _ = wait(set(active), timeout=timeout, return_when=FIRST_COMPLETED)
+            broken_slots: set[int] = set()
             for future in done:
-                key, job, attempt, _ = active.pop(future)
+                key, job, attempt, _, slot = active.pop(future)
                 exc = future.exception()
                 if exc is None:
                     yield key, job, decode(job, future.result())
+                    release(key)
                     continue
                 if isinstance(exc, BrokenProcessPool):
-                    broken = True
+                    broken_slots.add(slot)
                     queue.append((key, job, attempt + 1))
                     continue
                 outcome = self._after_failure(key, attempt, "crash", repr(exc))
@@ -305,8 +403,12 @@ class Supervisor:
                     )
                 else:
                     yield key, job, outcome
-            if broken:
-                self._requeue_in_flight(active, queue, charge_attempt=True)
+                    release(key)
+            if broken_slots:
+                for slot in broken_slots:
+                    self._requeue_in_flight(
+                        active, queue, charge_attempt=True, slot=slot
+                    )
                 continue
             if self.policy.job_timeout is None or not active:
                 continue
@@ -319,8 +421,10 @@ class Supervisor:
             if not expired:
                 continue
             self.stats["timeouts"] += len(expired)
+            hung_slots: set[int] = set()
             for future in expired:
-                key, job, attempt, _ = active.pop(future)
+                key, job, attempt, _, slot = active.pop(future)
+                hung_slots.add(slot)
                 future.cancel()
                 outcome = self._after_failure(
                     key,
@@ -334,9 +438,13 @@ class Supervisor:
                     )
                 else:
                     yield key, job, outcome
-            # A hung worker cannot be reclaimed: abandon the pool, requeue
-            # every other in-flight job without charging it an attempt.
-            self._requeue_in_flight(active, queue, charge_attempt=False)
+                    release(key)
+            # A hung worker cannot be reclaimed: abandon its pool, requeue
+            # every other in-flight job there without charging an attempt.
+            for slot in hung_slots:
+                self._requeue_in_flight(
+                    active, queue, charge_attempt=False, slot=slot
+                )
 
     # -- internals ---------------------------------------------------------------
 
@@ -367,23 +475,49 @@ class Supervisor:
             timeout = soonest if timeout is None else min(timeout, soonest)
         return timeout
 
+    def _route(
+        self, key: str, affinity: dict[str, object], loads: dict[int, int]
+    ) -> int:
+        """Pick a single-worker pool slot for *key* under sticky routing.
+
+        The token's home slot wins while it holds at most one job more
+        than the lightest slot; past that the job migrates (and the token
+        re-homes), trading cache warmth for load balance.  A job without
+        a token always takes the lightest slot.
+        """
+        token = affinity.get(key)
+        slots = range(self.workers)
+        least = min(slots, key=lambda i: loads.get(i, 0))
+        if token is None:
+            return least
+        home = self._affinity_home.get(token)
+        if home is not None and loads.get(home, 0) <= loads.get(least, 0) + 1:
+            self.stats["sticky_hits"] += 1
+            return home
+        self._affinity_home[token] = least
+        self.stats["sticky_misses"] += 1
+        return least
+
     def _requeue_in_flight(
-        self, active: dict, queue: deque, *, charge_attempt: bool
+        self, active: dict, queue: deque, *, charge_attempt: bool, slot: int = -1
     ) -> None:
-        """Drain in-flight jobs back into the queue and rebuild the pool.
+        """Drain one pool's in-flight jobs back into the queue and rebuild it.
 
         After ``BrokenProcessPool`` the guilty job cannot be told apart
         from its innocent pool-mates (every in-flight future raises), so
         all are charged an attempt — the guilty job's counter is the one
         that matters for quarantine, and an innocent job's extra attempt
         only changes its backoff.  After a timeout nothing in flight is
-        guilty, so nothing is charged.
+        guilty, so nothing is charged.  Only *slot*'s flights are touched:
+        in sticky mode the other single-worker pools are healthy.
         """
-        for future, (key, job, attempt, _) in list(active.items()):
+        for future, (key, job, attempt, _, flight_slot) in list(active.items()):
+            if flight_slot != slot:
+                continue
             future.cancel()
             queue.append((key, job, attempt + 1 if charge_attempt else attempt))
-        active.clear()
-        self._discard_pool()
+            del active[future]
+        self._discard_at(slot)
 
     def _inline_attempt(
         self, inline_fn: Callable, key: str, job: object, attempt: int

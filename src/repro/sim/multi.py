@@ -47,6 +47,36 @@ def kernel_selection() -> str:
     return "replay"
 
 
+def capture_kernel() -> str:
+    """The kernel a capture pass resolves to, by precedence.
+
+    Captures only exist while the replay mechanism is live, so the
+    resolution rides on the same kill-switch family (machine-checked in
+    ``tests/sim/test_kernel_selection.py``):
+
+    1. ``REPRO_NO_FASTPATH`` or ``REPRO_NO_REPLAY`` → ``"none"`` (no
+       capture pass runs at all — sweeps re-simulate on the fused or
+       generic loop);
+    2. else ``REPRO_CAPTURE_VEC`` set → ``"capture_vec"`` (array-native
+       capture; the value picks the backend — see
+       :func:`repro.cpu.capture_vec.vec_backend`, which mirrors the
+       replay_vec semantics: ``numpy`` forces the fallback, anything
+       else uses numba exactly when importable);
+    3. else → ``"capture"`` (scalar capture pass).
+
+    Either capture kernel emits byte-identical artifacts (proven by the
+    golden capture differential), so the choice never changes which
+    replay kernel a sweep's jobs select, nor any simulation result.
+    """
+    if not replay.replay_enabled():
+        return "none"
+    from repro.cpu import capture_vec
+
+    if capture_vec.capture_vec_requested():
+        return "capture_vec"
+    return "capture"
+
+
 def run_workload(
     workload: Workload,
     config: SystemConfig,

@@ -1,0 +1,260 @@
+"""Byte-identity and state-equivalence proofs for the array-native capture pass.
+
+The contract of :mod:`repro.cpu.capture_vec` is absolute: the artifact it
+produces — meta, step streams, event records, checkpoints, markers — is
+**byte-for-byte identical** to the scalar capture pass, on every golden
+platform and on randomly drawn ones.  Three layers check it:
+
+* **golden artifact differential** — every golden fixture's capture
+  identity is captured on both kernels and compared component for
+  component (42 cases dedupe to four distinct identities, so each pair is
+  captured once and asserted per case);
+* **golden record differential** — the replay kernels, fed a vec-captured
+  bundle, must still reproduce the committed golden fixtures exactly;
+* **property suite** — hypothesis-drawn platforms/budgets/seeds compare
+  the full bundles (checkpoints embed the complete private-level state,
+  so this is state-for-state equivalence), and the numpy hit walker is
+  differentially tested against the scalar walker on synthetic state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import capture as cap
+from repro.cpu import capture_vec
+from repro.golden import (
+    GOLDEN_WORKLOADS,
+    MASTER_SEED,
+    QUOTA,
+    WARMUP,
+    golden_config,
+    iter_cases,
+    run_case,
+)
+from repro.sim.config import CacheLevelConfig, SystemConfig
+from tests.golden.test_golden_master import CASE_IDS, CASES, _load
+
+BENCH_POOL = ("mcf", "libq", "gcc", "calc", "astar")
+
+
+def _config(num_cores: int, prefetch: bool) -> SystemConfig:
+    return SystemConfig(
+        name="capture-vec-prop",
+        num_cores=num_cores,
+        l1=CacheLevelConfig(num_sets=8, ways=4, latency=3.0),
+        l2=CacheLevelConfig(num_sets=8, ways=8, latency=14.0),
+        llc=CacheLevelConfig(num_sets=64, ways=16, latency=24.0),
+        monitor_sets=16,
+        interval_misses=2_000,
+        l1_next_line_prefetch=prefetch,
+        l2_stride_prefetch=prefetch,
+    )
+
+
+def _bundle_blob(bundle: cap.CaptureBundle) -> dict:
+    """Every byte the artifact serialises, in comparable form."""
+    return {
+        "meta": json.dumps(bundle.meta, sort_keys=True),
+        "tapes": [
+            {
+                "steps": bytes(tape.steps),
+                "events": tape.events_array().tobytes(),
+                "checkpoints": json.dumps(tape.checkpoints, sort_keys=True),
+                "baseline": tape.baseline,
+                "finish": tape.finish,
+                "length": tape.length,
+            }
+            for tape in bundle.tapes
+        ],
+    }
+
+
+def _assert_identical(scalar: cap.CaptureBundle, vec: cap.CaptureBundle) -> None:
+    a, b = _bundle_blob(scalar), _bundle_blob(vec)
+    assert a["meta"] == b["meta"]
+    assert len(a["tapes"]) == len(b["tapes"])
+    for core, (ta, tb) in enumerate(zip(a["tapes"], b["tapes"])):
+        for field in ("length", "baseline", "finish", "steps", "events", "checkpoints"):
+            assert ta[field] == tb[field], f"core {core}: {field} differs"
+
+
+# -- golden artifact differential ----------------------------------------------
+
+#: The 42 golden cases collapse onto these capture identities (capture is
+#: policy-independent); each pair of kernels runs once per identity.
+_PAIR_CACHE: dict[tuple, tuple[cap.CaptureBundle, cap.CaptureBundle]] = {}
+
+
+def _golden_pair(benchmarks: tuple[str, ...], platform: str):
+    key = (benchmarks, platform)
+    if key not in _PAIR_CACHE:
+        from dataclasses import replace
+
+        from repro.golden import GOLDEN_PLATFORMS
+
+        config = replace(golden_config(), **GOLDEN_PLATFORMS[platform])
+        scalar = cap.capture_workload(benchmarks, config, QUOTA, WARMUP, MASTER_SEED)
+        vec = capture_vec.capture_workload_vec(
+            benchmarks, config, QUOTA, WARMUP, MASTER_SEED
+        )
+        _PAIR_CACHE[key] = (scalar, vec)
+    return _PAIR_CACHE[key]
+
+
+class TestGoldenArtifactDifferential:
+    """Scalar and vec captures are byte-identical on every golden case."""
+
+    @pytest.mark.parametrize("policy,workload,benchmarks,platform", CASES, ids=CASE_IDS)
+    def test_capture_identical(self, policy, workload, benchmarks, platform):
+        scalar, vec = _golden_pair(tuple(benchmarks), platform)
+        _assert_identical(scalar, vec)
+
+
+# -- golden record differential ------------------------------------------------
+
+#: One policy per platform family is enough: the capture is policy-blind,
+#: so these pin that a vec-captured bundle drives both replay kernels to
+#: the committed fixture exactly.
+_RECORD_CASES = [
+    ("adapt", "thrash-mix", "base"),
+    ("lru", "friendly-mix", "base"),
+    ("ship", "thrash-mix", "prefetch"),
+    ("tadrrip", "friendly-mix", "prefetch"),
+]
+
+
+class TestGoldenRecordDifferential:
+    @pytest.mark.parametrize("kernel", ["replay", "replay_vec"])
+    @pytest.mark.parametrize("policy,workload,platform", _RECORD_CASES)
+    def test_replay_of_vec_capture_matches_fixture(
+        self, policy, workload, platform, kernel, monkeypatch
+    ):
+        # run_case's replay branches resolve the capture simulator from
+        # the capture module's namespace, so swapping the name routes the
+        # whole capture (including any live continuation) through the
+        # array-native kernel.
+        monkeypatch.setattr(cap, "PrivateCoreSim", capture_vec.VecPrivateCoreSim)
+        from repro.golden import compare_records
+
+        expected = _load(policy, workload, platform)
+        actual = run_case(
+            policy, GOLDEN_WORKLOADS[workload], platform=platform, kernel=kernel
+        )
+        assert compare_records(expected, actual) == []
+
+
+# -- property suite ------------------------------------------------------------
+
+
+class TestCaptureStateEquivalence:
+    """Randomly drawn runs: full-bundle equality, checkpoints included.
+
+    Checkpoints are complete private-level snapshots (L1 rows/stamps/
+    dirty/reused/MRU clocks, L2 contents + DRRIP PSEL/ticker, prefetcher
+    tables, instruction counts), so bundle equality *is* state-for-state
+    equivalence at every boundary the capture pass crosses.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        benchmarks=st.lists(
+            st.sampled_from(BENCH_POOL), min_size=1, max_size=2, unique=True
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        quota=st.integers(min_value=150, max_value=600),
+        warmup=st.integers(min_value=0, max_value=200),
+        prefetch=st.booleans(),
+        slack=st.sampled_from([0.0, 0.05, 1.0]),
+    )
+    def test_bundles_identical(self, benchmarks, seed, quota, warmup, prefetch, slack):
+        benchmarks = tuple(benchmarks)
+        config = _config(len(benchmarks), prefetch)
+        scalar = cap.capture_workload(
+            benchmarks, config, quota, warmup, seed, slack
+        )
+        vec = capture_vec.capture_workload_vec(
+            benchmarks, config, quota, warmup, seed, slack
+        )
+        _assert_identical(scalar, vec)
+
+
+class TestHitWalker:
+    """The numpy window walker against the scalar walker on synthetic state."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_walkers_agree(self, data):
+        num_sets = data.draw(st.sampled_from([2, 4, 8]))
+        ways = data.draw(st.integers(min_value=1, max_value=4))
+        n = data.draw(st.integers(min_value=1, max_value=80))
+        rng_seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        rng = np.random.default_rng(rng_seed)
+
+        # Mostly-resident rows: a dense address universe so draws hit often.
+        universe = num_sets * 4
+        rows = np.full((num_sets, ways), -1, dtype=np.int64)
+        for s in range(num_sets):
+            # Addresses mapping to set s (addr & mask == s), some slots empty.
+            candidates = s + num_sets * rng.permutation(4)
+            fill = rng.integers(0, ways + 1)
+            rows[s, :fill] = candidates[:fill]
+        a = rng.integers(0, universe, size=n).astype(np.int64)
+        s = a & (num_sets - 1)
+        w = rng.random(n) < 0.3
+
+        def state():
+            return (
+                rows.copy(),
+                rng.integers(1, 50, size=(num_sets, ways)).astype(np.int64),
+                (rng.random((num_sets, ways)) < 0.5),
+                (rng.random((num_sets, ways)) < 0.5),
+                rng.integers(50, 100, size=num_sets).astype(np.int64),
+            )
+
+        base = state()
+        py = tuple(arr.copy() for arr in base)
+        vec = tuple(arr.copy() for arr in base)
+        k_py = capture_vec._hits_py(a, s, w, 0, n, *py)
+        k_vec = capture_vec._walk_hits_numpy(a, s, w, 0, n, *vec)
+        assert k_py == k_vec
+        for name, pa, va in zip(("rows", "stamp", "dirty", "reused", "nmru"), py, vec):
+            assert np.array_equal(pa, va), f"{name} diverged after {k_py} hits"
+
+    def test_window_doubles_across_long_runs(self):
+        # One set, one resident address, a run far beyond the first window:
+        # every access hits, and the stamps advance as one progression.
+        rows = np.array([[7]], dtype=np.int64)
+        n = 100
+        a = np.full(n, 7, dtype=np.int64)
+        s = np.zeros(n, dtype=np.int64)
+        w = np.zeros(n, dtype=bool)
+        stamp = np.array([[3]], dtype=np.int64)
+        dirty = np.zeros((1, 1), dtype=bool)
+        reused = np.zeros((1, 1), dtype=bool)
+        nmru = np.array([10], dtype=np.int64)
+        k = capture_vec._walk_hits_numpy(a, s, w, 0, n, rows, stamp, dirty, reused, nmru)
+        assert k == n
+        assert stamp[0, 0] == 10 + n - 1
+        assert nmru[0] == 10 + n
+        assert reused[0, 0] and not dirty[0, 0]
+
+
+class TestEligibility:
+    def test_backend_resolves_without_numba(self):
+        # Never raises, whatever the container ships; numpy is the floor.
+        assert capture_vec.warm_backend() in ("numpy", "numba")
+
+    def test_forced_numpy_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAPTURE_VEC", "numpy")
+        assert capture_vec.vec_backend() == "numpy"
+        assert capture_vec.warm_backend() == "numpy"
+
+    def test_fresh_bundle_has_no_content_key(self):
+        scalar, vec = _golden_pair(("mcf", "libq"), "base")
+        assert vec.content_key is None and scalar.content_key is None

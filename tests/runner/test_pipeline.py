@@ -1,0 +1,171 @@
+"""End-to-end tests of the barrier-free capture→replay pipeline.
+
+The load-bearing properties: pipelined, barrier and replay-disabled runs
+are bit-identical; a failed capture costs only its sweep's replay kernel
+(never a result); and the worker-affinity caches make a sweep decode each
+artifact once, observably via ``runner.stats``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import replay_vec
+from repro.runner import ParallelRunner, WorkloadJob
+from repro.runner import replaystore
+from repro.runner.parallel import pipelining_enabled
+from repro.runner.supervisor import RetryPolicy
+from repro.trace.workloads import Workload
+
+QUOTA = 400
+WARMUP = 100
+MIXES = {"thrash": ("mcf", "libq"), "friendly": ("gcc", "calc")}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Per-test isolation for the process-local replay caches.
+
+    The plane cache is keyed by artifact *content* (not path), so a
+    previous test capturing the same identity would otherwise pre-warm it
+    and skew the hit/miss assertions.
+    """
+    replay_vec._PLANE_CACHE.clear()
+    replaystore._BUNDLES.clear()
+    replaystore.clear_replay_manifest()
+    yield
+    replay_vec._PLANE_CACHE.clear()
+    replaystore._BUNDLES.clear()
+    replaystore.clear_replay_manifest()
+
+
+def _sweep(config, policies, mixes=("thrash",), seed=0):
+    return [
+        WorkloadJob.for_workload(
+            Workload(name, MIXES[name]),
+            config.with_cores(len(MIXES[name])),
+            policy,
+            quota=QUOTA,
+            warmup=WARMUP,
+            master_seed=seed,
+        )
+        for name in mixes
+        for policy in policies
+    ]
+
+
+def _run(jobs, *, n=1, retry=None):
+    with ParallelRunner(jobs=n, retry=retry) as runner:
+        results = runner.run(jobs)
+    return results, runner
+
+
+class TestPipelineSwitch:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_PIPELINE", raising=False)
+        assert pipelining_enabled()
+        monkeypatch.setenv("REPRO_NO_PIPELINE", "0")
+        assert pipelining_enabled()
+
+    def test_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PIPELINE", "1")
+        assert not pipelining_enabled()
+
+
+class TestPipelinedEquivalence:
+    def test_pipelined_matches_barrier_and_fused(self, tiny_config, monkeypatch):
+        jobs = _sweep(tiny_config, ("lru", "adapt"), mixes=("thrash", "friendly"))
+
+        monkeypatch.delenv("REPRO_NO_PIPELINE", raising=False)
+        pipelined, runner = _run(jobs)
+        assert runner.stats["executed"] == len(jobs)
+        assert runner.stats["failed"] == 0
+
+        monkeypatch.setenv("REPRO_NO_PIPELINE", "1")
+        barrier, _ = _run(jobs)
+
+        monkeypatch.delenv("REPRO_NO_PIPELINE", raising=False)
+        monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+        fused, _ = _run(jobs)
+
+        assert pipelined == barrier == fused
+
+    @pytest.mark.slow
+    def test_pool_run_matches_inline(self, tiny_config):
+        jobs = _sweep(tiny_config, ("lru", "ship", "adapt"), mixes=("thrash", "friendly"))
+        inline, _ = _run(jobs, n=1)
+        pooled, runner = _run(jobs, n=2)
+        assert pooled == inline
+        assert runner.stats["failed"] == 0
+        # Both job families carry the artifact path as affinity token, so
+        # the sticky router was exercised (captures home the tokens, the
+        # staggered replays stick to them).
+        assert runner.stats["sticky_hits"] + runner.stats["sticky_misses"] > 0
+
+
+class TestCaptureFailureDegradation:
+    def test_poisoned_capture_costs_only_the_replay_kernel(
+        self, tiny_config, monkeypatch
+    ):
+        from repro.cpu.capture import replay_slack
+        from repro.runner.replaystore import replay_key
+        from repro.sim.build import capture_identity
+
+        jobs = _sweep(tiny_config, ("lru", "adapt"), mixes=("thrash", "friendly"))
+        thrash = next(job for job in jobs if job.workload_name == "thrash")
+        identity = capture_identity(
+            thrash.benchmarks, thrash.config, QUOTA, WARMUP, thrash.master_seed
+        )
+        # The fault grammar splits on ":", so match on the hex key alone —
+        # it only ever appears in the capture job's "capture:<key>" key.
+        ckey = replay_key(identity, replay_slack())
+
+        monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+        fused, _ = _run(jobs)
+        monkeypatch.delenv("REPRO_NO_REPLAY")
+
+        # Poison exactly the thrash sweep's capture job: it quarantines,
+        # its replays degrade to the fused kernel, and the friendly sweep
+        # pipelines normally.  Zero lost cells, bit-identical results.
+        monkeypatch.setenv("REPRO_FAULT", "poison:" + ckey[:24])
+        poisoned, runner = _run(
+            jobs, retry=RetryPolicy(max_retries=0, backoff_base=0.001)
+        )
+        assert poisoned == fused
+        assert all(result is not None for result in poisoned)
+        # Capture failures are folded away, never surfaced as job failures.
+        assert runner.stats["failed"] == 0
+        assert runner.last_failures == []
+
+
+class TestAffinityCaches:
+    def test_sweep_decodes_each_artifact_once(self, tiny_config, monkeypatch):
+        # Inline run of an 8-policy sweep on the array-native replay
+        # kernel: one artifact, so one bundle load and one plane decode;
+        # every other policy hits the content-keyed caches.
+        monkeypatch.setenv("REPRO_REPLAY_VEC", "numpy")
+        policies = ("lru", "ship", "adapt", "srrip", "brrip", "dip", "eaf", "lip")
+        jobs = _sweep(tiny_config, policies)
+        results, runner = _run(jobs)
+        assert all(result is not None for result in results)
+        assert runner.stats["executed"] == len(jobs)
+        assert runner.stats["bundle_loads"] == 1
+        assert runner.stats["plane_misses"] == 1
+        assert runner.stats["plane_hits"] == len(jobs) - 1
+
+    def test_two_sweeps_two_decodes(self, tiny_config, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_VEC", "numpy")
+        jobs = _sweep(tiny_config, ("lru", "ship"), mixes=("thrash", "friendly"))
+        results, runner = _run(jobs)
+        assert all(result is not None for result in results)
+        assert runner.stats["bundle_loads"] == 2
+        assert runner.stats["plane_misses"] == 2
+        assert runner.stats["plane_hits"] == 2
+
+    def test_plane_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANE_CACHE", "2")
+        assert replay_vec.plane_cache_limit() == 2
+        monkeypatch.setenv("REPRO_PLANE_CACHE", "garbage")
+        assert replay_vec.plane_cache_limit() == 8
+        monkeypatch.delenv("REPRO_PLANE_CACHE")
+        assert replay_vec.plane_cache_limit() == 8

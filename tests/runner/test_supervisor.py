@@ -187,6 +187,209 @@ def _map_probe(task):
     return task.upper()
 
 
+def _pid_echo(task):
+    key, job, attempt = task
+    return {"value": os.getpid()}
+
+
+def _slow_cap(task):
+    key, job, attempt = task
+    if key == "cap-slow":
+        time.sleep(0.8)
+    return {"value": job * 2}
+
+
+def _hang_dep(task):
+    key, job, attempt = task
+    if key == "dep":
+        time.sleep(10.0)
+    return {"value": job * 2}
+
+
+def _run_ordered(supervisor, misses, worker_fn, **kwargs):
+    """Like :func:`_run`, but preserves yield order."""
+    ordered = []
+    try:
+        for key, job, outcome in supervisor.run_jobs(
+            misses,
+            worker_fn=worker_fn,
+            task_for=lambda key, job, attempt: (key, job, attempt),
+            inline_fn=lambda key, job: job * 2,
+            decode=lambda job, data: data["value"],
+            **kwargs,
+        ):
+            ordered.append((key, outcome))
+    finally:
+        supervisor.shutdown(cancel=True)
+    return ordered
+
+
+class TestDependencyEdges:
+    def test_dependent_yields_after_dependency(self):
+        # Inline scheduling is deterministic: "a" is withheld until its
+        # dependency "d" has been *yielded*, so it drains last.
+        ordered = _run_ordered(
+            Supervisor(workers=1, policy=FAST),
+            MISSES,
+            _echo,
+            dependencies={"a": "d"},
+        )
+        assert dict(ordered) == EXPECTED
+        assert [key for key, _ in ordered] == ["b", "c", "d", "a"]
+
+    def test_pool_withholds_dependents(self):
+        ordered = _run_ordered(
+            Supervisor(workers=2, policy=FAST),
+            MISSES,
+            _echo,
+            dependencies={"b": "a", "c": "a"},
+        )
+        assert dict(ordered) == EXPECTED
+        keys = [key for key, _ in ordered]
+        assert keys.index("a") < keys.index("b")
+        assert keys.index("a") < keys.index("c")
+
+    def test_slow_dependency_stalls_only_its_dependents(self):
+        # The pipelined-sweep shape: one slow capture, one fast capture,
+        # two replays behind each.  The fast sweep must fully complete
+        # before the slow capture even finishes — no barrier.
+        misses = [
+            ("cap-slow", 10),
+            ("cap-fast", 20),
+            ("a1", 1),
+            ("a2", 2),
+            ("b1", 3),
+            ("b2", 4),
+        ]
+        deps = {"a1": "cap-slow", "a2": "cap-slow", "b1": "cap-fast", "b2": "cap-fast"}
+        ordered = _run_ordered(
+            Supervisor(workers=2, policy=FAST), misses, _slow_cap, dependencies=deps
+        )
+        assert dict(ordered) == {k: v * 2 for k, v in misses}
+        keys = [key for key, _ in ordered]
+        assert keys.index("b1") < keys.index("cap-slow")
+        assert keys.index("b2") < keys.index("cap-slow")
+        assert keys.index("cap-slow") < keys.index("a1")
+        assert keys.index("cap-slow") < keys.index("a2")
+
+    def test_failed_dependency_still_releases(self, monkeypatch):
+        # Edges order work, they never veto it: a quarantined dependency
+        # releases its dependents (they just run without its product).
+        monkeypatch.setenv("REPRO_FAULT", "poison:d")
+        ordered = _run_ordered(
+            Supervisor(workers=1, policy=RetryPolicy(max_retries=0)),
+            MISSES,
+            _echo,
+            dependencies={"a": "d"},
+        )
+        outcomes = dict(ordered)
+        assert isinstance(outcomes["d"], FailureRecord)
+        assert outcomes["a"] == 2
+        keys = [key for key, _ in ordered]
+        assert keys.index("d") < keys.index("a")
+
+    @pytest.mark.slow
+    def test_hung_dependency_times_out_and_releases(self):
+        supervisor = Supervisor(
+            workers=2,
+            policy=RetryPolicy(max_retries=0, job_timeout=0.4, backoff_base=0.001),
+        )
+        ordered = _run_ordered(
+            supervisor,
+            [("dep", 1), ("x", 2), ("y", 3)],
+            _hang_dep,
+            dependencies={"x": "dep", "y": "dep"},
+        )
+        outcomes = dict(ordered)
+        assert isinstance(outcomes["dep"], FailureRecord)
+        assert outcomes["dep"].kind == "timeout"
+        assert outcomes["x"] == 4 and outcomes["y"] == 6
+        assert supervisor.stats["timeouts"] >= 1
+
+    def test_edges_outside_the_batch_are_ignored(self):
+        outcomes = _run_ordered(
+            Supervisor(workers=1, policy=FAST),
+            MISSES,
+            _echo,
+            dependencies={"a": "no-such-job", "b": "b"},
+        )
+        assert dict(outcomes) == EXPECTED
+
+    def test_dependency_cycle_fails_open(self):
+        # A cycle can only come from a caller bug; it must degrade to
+        # unordered execution, never deadlock the batch.
+        outcomes = _run_ordered(
+            Supervisor(workers=1, policy=FAST),
+            MISSES,
+            _echo,
+            dependencies={"a": "b", "b": "a"},
+        )
+        assert dict(outcomes) == EXPECTED
+
+
+class TestStickyRouting:
+    def test_same_token_lands_on_one_worker(self):
+        # The capture→replay shape: dependency chains stagger each token's
+        # submissions, so the home slot is never overloaded and the whole
+        # chain sticks to the worker that ran its first link.
+        supervisor = Supervisor(workers=2, policy=FAST)
+        misses = [("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5), ("f", 6)]
+        affinity = {"a": "t1", "b": "t1", "c": "t1", "d": "t2", "e": "t2", "f": "t2"}
+        deps = {"b": "a", "c": "b", "e": "d", "f": "e"}
+        outcomes = dict(
+            _run_ordered(
+                supervisor, misses, _pid_echo, affinity=affinity, dependencies=deps
+            )
+        )
+        t1_pids = {outcomes[k] for k in ("a", "b", "c")}
+        t2_pids = {outcomes[k] for k in ("d", "e", "f")}
+        assert len(t1_pids) == 1 and len(t2_pids) == 1
+        assert t1_pids != t2_pids
+        # First job of each token homes it (miss); the rest stick (hit).
+        assert supervisor.stats["sticky_misses"] == 2
+        assert supervisor.stats["sticky_hits"] == 4
+
+    def test_overloaded_home_migrates(self):
+        # One token for the whole batch would idle the second slot; the
+        # load guard re-homes the token instead.
+        supervisor = Supervisor(workers=2, policy=FAST)
+        misses = [("a", 1), ("b", 2), ("c", 3), ("d", 4)]
+        affinity = {key: "t1" for key, _ in misses}
+        outcomes = dict(
+            _run_ordered(supervisor, misses, _pid_echo, affinity=affinity)
+        )
+        assert len(set(outcomes.values())) == 2  # both slots did work
+        assert supervisor.stats["sticky_misses"] >= 2
+
+    def test_affinity_is_inert_inline(self):
+        supervisor = Supervisor(workers=1, policy=FAST)
+        outcomes = _run_ordered(
+            supervisor, MISSES, _echo, affinity={"a": "t1", "b": "t1"}
+        )
+        assert dict(outcomes) == EXPECTED
+        assert supervisor.stats["sticky_hits"] == 0
+        assert supervisor.stats["sticky_misses"] == 0
+
+    def test_broken_sticky_slot_only_requeues_its_own(self):
+        # A worker death in one single-worker pool must not disturb the
+        # other slots' in-flight jobs.
+        supervisor = Supervisor(workers=2, policy=FAST)
+        misses = [("die-a", 1), ("b", 2), ("c", 3), ("d", 4)]
+        affinity = {"die-a": "t1", "b": "t2", "c": "t2", "d": "t2"}
+        outcomes = dict(
+            _run_ordered(supervisor, misses, _die_key_a, affinity=affinity)
+        )
+        assert outcomes == {"die-a": 2, "b": 4, "c": 6, "d": 8}
+        assert supervisor.stats["pool_rebuilds"] >= 1
+
+
+def _die_key_a(task):
+    key, job, attempt = task
+    if key == "die-a" and attempt == 0:
+        os._exit(3)
+    return {"value": job * 2}
+
+
 class TestRetryPolicy:
     def test_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_MAX_RETRIES", "5")

@@ -18,7 +18,7 @@ from itertools import product
 
 import pytest
 
-from repro.cpu import replay, replay_vec
+from repro.cpu import capture_vec, replay, replay_vec
 from repro.cpu.fastpath import fastpath_enabled
 from repro.golden import golden_config
 from repro.runner.replaystore import (
@@ -26,7 +26,7 @@ from repro.runner.replaystore import (
     clear_replay_manifest,
     install_replay_manifest,
 )
-from repro.sim.multi import kernel_selection, run_workload
+from repro.sim.multi import capture_kernel, kernel_selection, run_workload
 from repro.trace.workloads import Workload
 
 FLAGS = (
@@ -35,6 +35,8 @@ FLAGS = (
     "REPRO_REPLAY_VEC",
     "REPRO_NO_SHARED_TRACES",
 )
+
+CAPTURE_FLAGS = ("REPRO_NO_FASTPATH", "REPRO_NO_REPLAY", "REPRO_CAPTURE_VEC")
 
 COMBOS = list(product((False, True), repeat=len(FLAGS)))
 COMBO_IDS = [
@@ -56,7 +58,7 @@ def _expected(no_fastpath, no_replay, vec, _no_shared_traces):
 
 @pytest.fixture(autouse=True)
 def _clean_env(monkeypatch):
-    for flag in FLAGS:
+    for flag in FLAGS + ("REPRO_CAPTURE_VEC",):
         monkeypatch.delenv(flag, raising=False)
 
 
@@ -108,6 +110,76 @@ class TestReplayVecValueSemantics:
         assert kernel_selection() == "fast"
         monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
         assert kernel_selection() == "generic"
+
+
+class TestCaptureKernelSelection:
+    """``capture_kernel()`` resolves its own switch with the same value
+    semantics as ``REPRO_REPLAY_VEC`` — and never changes which replay
+    kernel a swept job selects."""
+
+    CAPTURE_COMBOS = list(product((False, True), repeat=len(CAPTURE_FLAGS)))
+
+    @staticmethod
+    def _expected_capture(no_fastpath, no_replay, vec):
+        if no_fastpath or no_replay:
+            return "none"
+        return "capture_vec" if vec else "capture"
+
+    @pytest.mark.parametrize(
+        "combo",
+        CAPTURE_COMBOS,
+        ids=[
+            "+".join(f.replace("REPRO_", "") for f, on in zip(CAPTURE_FLAGS, c) if on)
+            or "none"
+            for c in CAPTURE_COMBOS
+        ],
+    )
+    def test_every_combination_resolves_deterministically(self, combo, monkeypatch):
+        for flag, on in zip(CAPTURE_FLAGS, combo):
+            if on:
+                monkeypatch.setenv(flag, "1")
+        assert capture_kernel() == self._expected_capture(*combo)
+        # The predicate agrees with the resolution.
+        assert capture_vec.capture_vec_enabled() == (capture_kernel() == "capture_vec")
+
+    @pytest.mark.parametrize("value", ["", "0"])
+    def test_off_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_CAPTURE_VEC", value)
+        assert not capture_vec.capture_vec_requested()
+        assert capture_kernel() == "capture"
+
+    @pytest.mark.parametrize("value", ["1", "numpy", "numba", "on"])
+    def test_on_values(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_CAPTURE_VEC", value)
+        assert capture_vec.capture_vec_requested()
+        assert capture_kernel() == "capture_vec"
+
+    def test_numpy_value_forces_the_fallback_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAPTURE_VEC", "numpy")
+        assert capture_vec.vec_backend() == "numpy"
+
+    def test_backend_resolves_on_any_container(self, monkeypatch):
+        # "1" means "numba when importable": on a container without the
+        # [jit] extra the backend must quietly resolve to numpy, never
+        # raise — this is the degradation the nightly/local split relies on.
+        monkeypatch.setenv("REPRO_CAPTURE_VEC", "1")
+        backend = capture_vec.vec_backend()
+        assert backend in ("numpy", "numba")
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            assert backend == "numpy"
+
+    def test_capture_switch_never_changes_the_replay_kernel(self, monkeypatch):
+        for combo in COMBOS:
+            for flag, on in zip(FLAGS, combo):
+                monkeypatch.setenv(flag, "1") if on else monkeypatch.delenv(
+                    flag, raising=False
+                )
+            without = kernel_selection()
+            monkeypatch.setenv("REPRO_CAPTURE_VEC", "1")
+            assert kernel_selection() == without
+            monkeypatch.delenv("REPRO_CAPTURE_VEC")
 
 
 class TestRunWorkloadRouting:
