@@ -111,6 +111,18 @@ def add_seed_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_benchmark_set_flag(parser: argparse.ArgumentParser) -> None:
+    """Workload-suite selection shared by suite-driven commands."""
+    parser.add_argument(
+        "--benchmark-set",
+        choices=["synthetic", "real", "all"],
+        default="synthetic",
+        dest="benchmark_set",
+        help="workload suite: the synthetic Table 6 roster, the ingested "
+        "real-trace targets ('repro-experiments targets ingest'), or both",
+    )
+
+
 def add_sim_flags(parser: argparse.ArgumentParser, *, cores: bool = False) -> None:
     """Flags of every simulation-backed command (optionally ``--cores``)."""
     if cores:
@@ -118,6 +130,7 @@ def add_sim_flags(parser: argparse.ArgumentParser, *, cores: bool = False) -> No
             "--cores", type=int, default=16, help="platform core count"
         )
     add_seed_flag(parser)
+    add_benchmark_set_flag(parser)
     add_store_flags(parser)
 
 
@@ -146,10 +159,25 @@ def dispatch(argv: list[str] | None = None, prog: str | None = None) -> int:
 
     The handler is looked up in :data:`COMMANDS` at dispatch time (not
     frozen into the parser), so tests can stub a command's ``run``.
+
+    Usage errors for leftover arguments are reported here rather than by
+    ``parse_args`` so the message names the offending *subcommand* —
+    argparse's own "unrecognized arguments" comes from the main parser
+    and gives no hint which command rejected the flag.
     """
     parser = build_parser(prog)
-    args = parser.parse_args(argv)
+    args, extras = parser.parse_known_args(argv)
     if not args.command:
+        if extras:
+            parser.error(f"unrecognized arguments: {' '.join(extras)}")
         parser.print_help(sys.stderr)
+        return 2
+    if extras:
+        print(
+            f"{parser.prog} {args.command}: unrecognized arguments: "
+            f"{' '.join(extras)}\n"
+            f"(see: {parser.prog} {args.command} --help)",
+            file=sys.stderr,
+        )
         return 2
     return COMMANDS[args.command].run(args)

@@ -31,6 +31,7 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.experiments.cli import (
+    add_benchmark_set_flag,
     add_seed_flag,
     add_sim_flags,
     add_store_flags,
@@ -43,11 +44,25 @@ from repro.sim.config import SystemConfig
 
 
 def _settings_from(args) -> ExperimentSettings:
-    """The invocation's budgets: ``REPRO_SCALE`` scaled, ``--seed`` applied."""
+    """The invocation's budgets: ``REPRO_SCALE`` scaled, ``--seed`` and
+    ``--benchmark-set`` applied.
+
+    When a results dir is given, it also becomes the active targets
+    directory (unless ``REPRO_TARGETS_DIR`` pins one), so ``tgt:`` names
+    resolve in this process and in every pool worker.
+    """
+    from repro.targets import activate
+
     settings = ExperimentSettings.from_env()
     seed = getattr(args, "seed", 0)
     if seed:
         settings = replace(settings, master_seed=seed)
+    benchmark_set = getattr(args, "benchmark_set", "synthetic")
+    if benchmark_set != "synthetic":
+        settings = replace(settings, benchmark_set=benchmark_set)
+    results_dir = getattr(args, "results_dir", None)
+    if results_dir:
+        activate(results_dir)
     return settings
 
 
@@ -217,6 +232,7 @@ def _configure_tournament(parser) -> None:
         "sweep (requires --results-dir; completed cells come from the store)",
     )
     add_seed_flag(parser)
+    add_benchmark_set_flag(parser)
     add_store_flags(parser)
 
 
@@ -264,6 +280,7 @@ def _cmd_tournament(args) -> int:
             cores=tuple(args.cores) if args.cores else DEFAULT_CORES,
             seeds=tuple(range(args.seed, args.seed + args.seeds)),
             workloads=args.workloads,
+            benchmark_set=args.benchmark_set,
             jobs=args.jobs,
             results_dir=args.results_dir or None,
             use_cache=not args.no_cache,
@@ -493,7 +510,12 @@ def _cmd_profile(args) -> int:
 
 
 def _configure_traces(parser) -> None:
-    parser.add_argument("action", choices=["gc"], help="the maintenance action")
+    parser.add_argument(
+        "action",
+        choices=["gc", "ls"],
+        help="'gc' prunes unreferenced buffers, 'ls' lists every artifact "
+        "with its provenance",
+    )
     parser.add_argument(
         "--results-dir",
         default="results",
@@ -502,33 +524,216 @@ def _configure_traces(parser) -> None:
     parser.add_argument(
         "--dry-run",
         action="store_true",
-        help="report what would be pruned without deleting",
+        help="report what would be pruned without deleting (gc only)",
     )
     parser.add_argument(
         "--fix",
         action="store_true",
         help="move corrupt referenced artifacts to traces/quarantine/ "
-        "(they are regenerated on the next sweep)",
+        "(they are regenerated on the next sweep; gc only)",
     )
 
 
 @register_command(
     "traces",
-    help="shared-buffer maintenance: 'traces gc' prunes unreferenced buffers",
+    help="shared-buffer maintenance: 'traces gc' prunes, 'traces ls' "
+    "lists with provenance",
     configure=_configure_traces,
 )
 def _cmd_traces(args) -> int:
-    """Walks the persistent result store through its typed query API,
-    recomputes the buffer keys every stored result references, and deletes
-    the rest of ``<results-dir>/traces/``."""
-    from repro.runner.tracegc import collect_garbage
+    """``gc`` walks the persistent result store through its typed query
+    API, recomputes the buffer keys every stored result references (plus
+    the target buffers ``targets.json`` pins), and deletes the rest of
+    ``<results-dir>/traces/``.  ``ls`` only enumerates, rendering each
+    artifact's provenance from its meta sidecar."""
+    from repro.runner.tracegc import collect_garbage, list_traces
 
     if not args.results_dir:
-        print("traces gc needs a persistent store (--results-dir)", file=sys.stderr)
+        print(
+            f"traces {args.action} needs a persistent store (--results-dir)",
+            file=sys.stderr,
+        )
         return 2
+    if args.action == "ls":
+        print(list_traces(args.results_dir).render())
+        return 0
     report = collect_garbage(args.results_dir, dry_run=args.dry_run, fix=args.fix)
     print(report.render())
     return 0
+
+
+# -- targets (real-workload trace frontend) ----------------------------------------
+
+
+def _configure_targets(parser) -> None:
+    parser.add_argument(
+        "action",
+        choices=["list", "ingest", "info"],
+        help="'ingest' trace files, 'list' registered targets, "
+        "'info' one target's provenance",
+    )
+    parser.add_argument(
+        "items",
+        nargs="*",
+        metavar="ITEM",
+        help="trace files (ingest) or target names (info)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["champsim", "drcachesim", "lackey"],
+        default=None,
+        dest="fmt",
+        help="trace format (default: inferred from the file name)",
+    )
+    parser.add_argument(
+        "--name",
+        default=None,
+        help="registry name for the ingested target "
+        "(single file only; default: derived from the file name)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="down-sampling cap in accesses (default: REPRO_TRACE_BUDGET "
+        "x REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=64, help="cache block size in bytes"
+    )
+    parser.add_argument(
+        "--mlp",
+        type=float,
+        default=2.0,
+        help="memory-level parallelism assumed by the core model",
+    )
+    parser.add_argument(
+        "--base-cpi",
+        type=float,
+        default=1.0,
+        help="non-memory CPI assumed by the core model",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="store whose traces/ directory receives the ingested buffers",
+    )
+
+
+@register_command(
+    "targets",
+    help="real-workload traces: ingest ChampSim/drcachesim/lackey files "
+    "as tournament benchmarks",
+    configure=_configure_targets,
+)
+def _cmd_targets(args) -> int:
+    """Ingestion materialises each trace once, content-addressed, under
+    ``<results-dir>/traces/`` (see :mod:`repro.targets`); ingested targets
+    then join any suite via ``--benchmark-set real``/``all``."""
+    from repro.runner.integrity import read_meta
+    from repro.targets import FormatError, ingest_file, load_registry
+    from repro.targets.registry import buffer_path, lookup_target
+
+    if not args.results_dir:
+        print("targets needs a persistent store (--results-dir)", file=sys.stderr)
+        return 2
+    directory = Path(args.results_dir) / "traces"
+
+    if args.action == "list":
+        registry = load_registry(directory)
+        if not registry:
+            print(
+                f"no targets ingested under {directory} — "
+                "run: repro-experiments targets ingest <trace-file>"
+            )
+            return 0
+        for name in sorted(registry):
+            spec = registry[name]
+            print(
+                f"{name:<28} [{spec.fmt}] origin={spec.origin} "
+                f"accesses={spec.n_accesses} budget={spec.budget} "
+                f"ipa={spec.instructions_per_access:.2f}"
+            )
+        return 0
+
+    if not args.items:
+        print(
+            f"targets {args.action}: needs at least one "
+            f"{'trace file' if args.action == 'ingest' else 'target name'}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.action == "ingest":
+        if args.name and len(args.items) > 1:
+            print(
+                "targets ingest: --name applies to a single file", file=sys.stderr
+            )
+            return 2
+        for item in args.items:
+            try:
+                spec, reused = ingest_file(
+                    item,
+                    args.fmt,
+                    directory=directory,
+                    name=args.name,
+                    budget=args.budget,
+                    block_size=args.block_size,
+                    mlp=args.mlp,
+                    base_cpi=args.base_cpi,
+                )
+            except (FormatError, OSError, ValueError) as exc:
+                print(f"targets ingest: {item}: {exc}", file=sys.stderr)
+                return 2
+            verb = "reused" if reused else "ingested"
+            print(
+                f"{verb} {spec.name} -> target-{spec.key}.npy "
+                f"[{spec.fmt}] {spec.n_accesses} accesses "
+                f"({spec.n_chunks} chunks, budget {spec.budget})"
+            )
+        return 0
+
+    # info: registered targets first, then raw buffer names/keys — the
+    # meta sidecars make provenance uniform across both kinds.
+    status = 0
+    for item in args.items:
+        spec = lookup_target(item, directory)
+        if spec is not None:
+            meta = read_meta(buffer_path(directory, spec.key)) or {}
+            print(f"{spec.name}:")
+            print(f"  buffer     target-{spec.key}.npy")
+            print(f"  format     {spec.fmt}")
+            print(f"  origin     {spec.origin}")
+            print(f"  source     sha256:{spec.source_sha256}")
+            print(f"  budget     {spec.budget}")
+            print(
+                f"  accesses   {spec.n_accesses} "
+                f"({spec.n_chunks} chunks of 4096)"
+            )
+            print(f"  ipa        {spec.instructions_per_access:.3f}")
+            print(f"  core model mlp={spec.mlp} base_cpi={spec.base_cpi}")
+            if meta.get("instructions"):
+                print(f"  instrs     {meta['instructions']}")
+            continue
+        # Fall back to any artifact in the traces dir (synthetic buffers
+        # included) so `targets info <key>.npy` prints its provenance.
+        from repro.runner.tracegc import provenance_line
+
+        candidates = [
+            p
+            for p in (
+                directory / item,
+                directory / f"{item}.npy",
+                directory / f"target-{item}.npy",
+            )
+            if p.is_file()
+        ]
+        if candidates:
+            print(f"{candidates[0].name}: {provenance_line(candidates[0])}")
+            continue
+        print(f"targets info: unknown target {item!r}", file=sys.stderr)
+        status = 2
+    return status
 
 
 @register_command("list", help="list every available subcommand")

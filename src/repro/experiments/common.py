@@ -74,6 +74,9 @@ class ExperimentSettings:
     workloads: dict[int, int] = field(
         default_factory=lambda: {4: 6, 8: 4, 16: 6, 20: 2, 24: 2}
     )
+    #: Which workload roster :meth:`suite` composes: the ``synthetic``
+    #: Table 6 samples, the ingested ``real`` targets, or ``all`` (both).
+    benchmark_set: str = "synthetic"
 
     @staticmethod
     def from_env() -> "ExperimentSettings":
@@ -86,7 +89,21 @@ class ExperimentSettings:
         return ExperimentSettings(workloads=scaled)
 
     def suite(self, cores: int) -> list[Workload]:
-        return design_suite(cores, self.workloads[cores], self.master_seed)
+        count = self.workloads[cores]
+        synthetic = design_suite(cores, count, self.master_seed)
+        if self.benchmark_set == "synthetic":
+            return synthetic
+        from repro.targets.suite import real_suite
+
+        real = real_suite(cores, count, self.master_seed)
+        if self.benchmark_set == "real":
+            return real
+        if self.benchmark_set == "all":
+            return synthetic + real
+        raise ValueError(
+            f"unknown benchmark set {self.benchmark_set!r}; "
+            "options: synthetic, real, all"
+        )
 
 
 def config_for_cores(base: SystemConfig, cores: int) -> SystemConfig:

@@ -45,15 +45,18 @@ class Fig1Result:
     mpki_reduction: dict[str, float]
 
     def thrashing_rows(self) -> dict[str, float]:
+        # Ingested targets (tgt:) carry no Footprint-number: non-thrashing.
         return {
-            a: v for a, v in self.mpki_reduction.items() if BENCHMARKS[a].thrashing
+            a: v
+            for a, v in self.mpki_reduction.items()
+            if a in BENCHMARKS and BENCHMARKS[a].thrashing
         }
 
     def other_rows(self) -> dict[str, float]:
         return {
             a: v
             for a, v in self.mpki_reduction.items()
-            if not BENCHMARKS[a].thrashing
+            if not (a in BENCHMARKS and BENCHMARKS[a].thrashing)
         }
 
     def render(self) -> str:

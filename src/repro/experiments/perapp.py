@@ -25,9 +25,12 @@ class PerAppResult:
     ipc_speedup: dict[str, dict[str, float]]
 
     def apps(self, thrashing: bool) -> list[str]:
+        # Ingested targets (tgt:) carry no Footprint-number: non-thrashing.
         some_policy = next(iter(self.mpki_reduction.values()))
         return sorted(
-            app for app in some_policy if BENCHMARKS[app].thrashing == thrashing
+            app
+            for app in some_policy
+            if (app in BENCHMARKS and BENCHMARKS[app].thrashing) == thrashing
         )
 
     def render(self, thrashing: bool) -> str:

@@ -98,6 +98,7 @@ def run_tournament(
     cores: tuple[int, ...] = DEFAULT_CORES,
     seeds: tuple[int, ...] = (0, 1, 2),
     workloads: int | None = None,
+    benchmark_set: str | None = None,
     jobs: int | None = None,
     results_dir: str | Path | None = "results",
     use_cache: bool = True,
@@ -109,8 +110,10 @@ def run_tournament(
     Parameters mirror the CLI: *seeds* are the master seeds swept,
     *workloads* optionally caps each suite (default: the
     ``REPRO_SCALE``-scaled Table 6 counts), *policies* defaults to every
-    distinct registered policy.  The baseline policy is always included —
-    the report normalises against it.
+    distinct registered policy, and *benchmark_set* picks the roster
+    (``synthetic``/``real``/``all`` — the real set runs the targets
+    ingested into the store's ``traces/`` directory).  The baseline
+    policy is always included — the report normalises against it.
     """
     from repro.experiments.common import BASELINE_POLICY
 
@@ -119,6 +122,14 @@ def run_tournament(
         roster = (BASELINE_POLICY, *roster)
     _validate_policies(roster)
     base_settings = settings or ExperimentSettings.from_env()
+    if benchmark_set is not None:
+        base_settings = replace(base_settings, benchmark_set=benchmark_set)
+    if base_settings.benchmark_set != "synthetic" and results_dir:
+        # tgt: names resolve through the active targets directory; the
+        # store that holds the ingested buffers is the natural default.
+        from repro.targets import activate
+
+        activate(results_dir)
     run = TournamentRun(
         policies=roster,
         cores=tuple(cores),

@@ -72,6 +72,9 @@ class TournamentData:
     skipped_parameterised: int = 0
     skipped_no_alone: int = 0
     skipped_no_baseline: int = 0
+    #: Cells whose workload ran at least one ingested real-trace target
+    #: (``tgt:`` benchmark names; see :mod:`repro.targets`).
+    real_cells: int = 0
     #: Jobs the supervised runner quarantined (persisted failure records)
     #: — holes in the grid, re-executed by ``tournament --resume``.
     failed_cells: int = 0
@@ -194,6 +197,8 @@ def gather(store: ResultStore, baseline: str = DEFAULT_BASELINE) -> TournamentDa
         base_ws = base[1]
         for policy, (record, ws, mpki) in sorted(by_policy.items()):
             job = record.job
+            if any(b.startswith("tgt:") for b in job.benchmarks):
+                data.real_cells += 1
             data.cells.append(
                 Cell(
                     policy=policy,

@@ -40,6 +40,12 @@ def render_ranked(report: TournamentReport) -> str:
             f"[{lo:.4f}, {hi:.4f}]  {s.ws_geomean:>10.4f}  "
             f"{s.llc_mpki_mean:>8.2f}  {win}  {s.cells:>5}"
         )
+    if data.real_cells:
+        rest = len(data.cells) - data.real_cells
+        lines.append(
+            f"({data.real_cells} cells ran ingested real-workload traces"
+            + (f"; the other {rest} are synthetic)" if rest else ")")
+        )
     skipped = (
         data.skipped_parameterised + data.skipped_no_alone + data.skipped_no_baseline
     )

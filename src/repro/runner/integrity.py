@@ -26,11 +26,39 @@ import os
 from pathlib import Path
 
 CHECKSUM_SUFFIX = ".sha256"
+META_SUFFIX = ".meta.json"
 QUARANTINE_DIRNAME = "quarantine"
 
 
 def checksum_path(path: str | Path) -> Path:
     return Path(str(path) + CHECKSUM_SUFFIX)
+
+
+def meta_path(path: str | Path) -> Path:
+    """The provenance sidecar of an artifact (``<name>.meta.json``)."""
+    return Path(str(path) + META_SUFFIX)
+
+
+def write_meta(path: str | Path, meta: dict) -> Path:
+    """Write an artifact's provenance sidecar (deterministic bytes)."""
+    import json
+
+    sidecar = meta_path(path)
+    sidecar.write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return sidecar
+
+
+def read_meta(path: str | Path) -> dict | None:
+    """The provenance sidecar's contents, or ``None`` (absent/unreadable)."""
+    import json
+
+    try:
+        meta = json.loads(meta_path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return meta if isinstance(meta, dict) else None
 
 
 def file_digest(path: str | Path) -> str:
@@ -81,12 +109,12 @@ def quarantine(path: str | Path, reason: str = "") -> Path | None:
         os.replace(path, target)
     except OSError:
         return None
-    sidecar = checksum_path(path)
-    if sidecar.is_file():
-        try:
-            os.replace(sidecar, target_dir / sidecar.name)
-        except OSError:
-            pass
+    for sidecar in (checksum_path(path), meta_path(path)):
+        if sidecar.is_file():
+            try:
+                os.replace(sidecar, target_dir / sidecar.name)
+            except OSError:
+                pass
     if reason:
         try:
             (target_dir / (path.name + ".reason")).write_text(
@@ -107,5 +135,6 @@ def quarantined_artifacts(root: str | Path) -> list[Path]:
         for p in directory.iterdir()
         if p.is_file()
         and not p.name.endswith(CHECKSUM_SUFFIX)
+        and not p.name.endswith(META_SUFFIX)
         and not p.name.endswith(".reason")
     )

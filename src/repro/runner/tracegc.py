@@ -28,8 +28,10 @@ from pathlib import Path
 
 from repro.runner.integrity import (
     CHECKSUM_SUFFIX,
+    META_SUFFIX,
     quarantine,
     quarantined_artifacts,
+    read_meta,
     verify_artifact,
 )
 from repro.runner.store import ResultStore
@@ -55,6 +57,8 @@ class GcReport:
     fix: bool = False
     #: Artifacts already held in ``traces/quarantine/``.
     quarantined: list[str] = field(default_factory=list)
+    #: Kept ingested-target buffers: file name -> provenance line.
+    targets: dict[str, str] = field(default_factory=dict)
 
     def render(self) -> str:
         action = "would remove" if self.dry_run else "removed"
@@ -65,6 +69,15 @@ class GcReport:
             f"({self.freed_bytes / 1024:.0f} KiB)",
         ]
         lines.extend(f"  - {name}" for name in self.removed)
+        if self.targets:
+            lines.append(
+                f"{len(self.targets)} ingested target buffers pinned by "
+                "targets.json:"
+            )
+            lines.extend(
+                f"  + {name}  {provenance}"
+                for name, provenance in sorted(self.targets.items())
+            )
         if self.corrupt:
             verdict = (
                 "quarantined" if self.fix and not self.dry_run
@@ -114,6 +127,66 @@ def _is_corrupt(path: Path, structurally_dead: bool = False) -> bool:
     return structurally_dead or verify_artifact(path) is False
 
 
+def _registry_names(traces_dir: Path) -> tuple[set[str], dict[str, str]]:
+    """Target buffers pinned by ``targets.json``: (file names, provenance).
+
+    Ingested traces are referenced by the registry rather than by stored
+    results — a freshly ingested target must survive gc before its first
+    sweep ever runs.
+    """
+    from repro.targets.registry import load_registry
+
+    names: set[str] = set()
+    provenance: dict[str, str] = {}
+    for spec in load_registry(traces_dir).values():
+        file_name = f"target-{spec.key}.npy"
+        names.add(file_name)
+        entry = (
+            f"{spec.name} [{spec.fmt}] origin={spec.origin} "
+            f"src={spec.source_sha256[:12]} budget={spec.budget}"
+        )
+        # Two registry names over one buffer (same content ingested twice
+        # under different names) render on one line.
+        if file_name in provenance:
+            entry = f"{provenance[file_name]} + {spec.name}"
+        provenance[file_name] = entry
+    return names, provenance
+
+
+def provenance_line(path: Path) -> str:
+    """One human line describing an artifact's origin (from sidecars)."""
+    meta = read_meta(path)
+    if meta is None:
+        if path.name.startswith("replay-") and path.suffix == ".npz":
+            from repro.runner.replaystore import load_meta
+
+            inner = load_meta(path)
+            if inner is not None:
+                benchmarks = ",".join(inner.get("benchmarks", []))
+                return (
+                    f"replay capture [{benchmarks}] "
+                    f"seed={inner.get('master_seed', '?')}"
+                )
+        return "(no provenance recorded)"
+    if meta.get("kind") == "target":
+        return (
+            f"ingested [{meta.get('format', '?')}] "
+            f"origin={meta.get('origin', '?')} "
+            f"src={str(meta.get('source_sha256', ''))[:12]} "
+            f"budget={meta.get('budget', '?')} "
+            f"accesses={meta.get('accesses', '?')}"
+        )
+    if meta.get("kind") == "synthetic":
+        return (
+            f"synthetic generator={meta.get('generator', '?')} "
+            f"pattern={meta.get('pattern', '?')} "
+            f"core={meta.get('core_id', '?')} "
+            f"seed={meta.get('master_seed', '?')} "
+            f"chunks={meta.get('n_chunks', '?')}"
+        )
+    return f"(unrecognised meta kind {meta.get('kind')!r})"
+
+
 def collect_garbage(
     results_dir: str | Path, dry_run: bool = False, fix: bool = False
 ) -> GcReport:
@@ -129,9 +202,11 @@ def collect_garbage(
     store = ResultStore(results_dir)
     scanned, trace_names, replay_identities = _referenced(store)
     traces_dir = store.root / "traces"
+    target_names, target_provenance = _registry_names(traces_dir)
     kept: list[str] = []
     removed: list[str] = []
     corrupt: list[str] = []
+    kept_targets: dict[str, str] = {}
     freed = 0
     if traces_dir.is_dir():
         now = time.time()
@@ -141,13 +216,17 @@ def collect_garbage(
             for p in traces_dir.glob(pattern)
         )
         for path in candidates:
-            if path.suffix == ".npy" and path.name in trace_names:
+            if path.suffix == ".npy" and (
+                path.name in trace_names or path.name in target_names
+            ):
                 if _is_corrupt(path):
                     corrupt.append(path.name)
                     if fix and not dry_run:
                         quarantine(path, reason="trace integrity check failed")
                         continue
                 kept.append(path.name)
+                if path.name in target_names:
+                    kept_targets[path.name] = target_provenance[path.name]
                 continue
             if path.suffix == ".npz":
                 meta = load_meta(path)
@@ -186,21 +265,22 @@ def collect_garbage(
                     continue
             removed.append(path.name)
             freed += stat.st_size
-        # Sweep sidecars whose artifact is gone (just removed, moved to
-        # quarantine, or deleted out-of-band).
+        # Sweep sidecars (checksum + provenance meta) whose artifact is
+        # gone (just removed, moved to quarantine, or deleted out-of-band).
         removed_names = set(removed)
-        for sidecar in sorted(traces_dir.glob(f"*{CHECKSUM_SUFFIX}")):
-            base = sidecar.with_name(sidecar.name[: -len(CHECKSUM_SUFFIX)])
-            if base.exists() and base.name not in removed_names:
-                continue
-            try:
-                size = sidecar.stat().st_size
-                if not dry_run:
-                    sidecar.unlink()
-            except OSError:
-                continue
-            removed.append(sidecar.name)
-            freed += size
+        for suffix in (CHECKSUM_SUFFIX, META_SUFFIX):
+            for sidecar in sorted(traces_dir.glob(f"*{suffix}")):
+                base = sidecar.with_name(sidecar.name[: -len(suffix)])
+                if base.exists() and base.name not in removed_names:
+                    continue
+                try:
+                    size = sidecar.stat().st_size
+                    if not dry_run:
+                        sidecar.unlink()
+                except OSError:
+                    continue
+                removed.append(sidecar.name)
+                freed += size
     return GcReport(
         results_scanned=scanned,
         referenced=len(trace_names) + len(replay_identities),
@@ -211,4 +291,65 @@ def collect_garbage(
         corrupt=corrupt,
         fix=fix,
         quarantined=[p.name for p in quarantined_artifacts(traces_dir)],
+        targets=kept_targets,
     )
+
+
+# -- inventory (``traces ls``) -------------------------------------------------
+
+
+@dataclass
+class TraceInventory:
+    """Every artifact under ``<store>/traces``, with provenance."""
+
+    root: Path
+    #: ``(file name, size bytes, provenance line)`` in name order.
+    entries: list[tuple[str, int, str]] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        if not self.entries and not self.quarantined:
+            return f"traces ls: no artifacts under {self.root}"
+        total = sum(size for _, size, _ in self.entries)
+        lines = [
+            f"traces ls: {len(self.entries)} artifacts "
+            f"({total / 1024:.0f} KiB) under {self.root}"
+        ]
+        lines.extend(
+            f"  {name:<52} {size / 1024:>8.0f} KiB  {provenance}"
+            for name, size, provenance in self.entries
+        )
+        if self.quarantined:
+            lines.append(
+                f"{len(self.quarantined)} artifacts held in quarantine/"
+            )
+            lines.extend(f"  ! {name}" for name in self.quarantined)
+        return "\n".join(lines)
+
+
+def list_traces(results_dir: str | Path) -> TraceInventory:
+    """Enumerate the trace/replay artifacts of a store with provenance.
+
+    Ingested target buffers render their source provenance (format,
+    origin checksum, budget) from the meta sidecar; synthetic buffers
+    their generator identity; replay captures the identity embedded in
+    the archive.  Exposed as ``repro-experiments traces ls``.
+    """
+    traces_dir = ResultStore(results_dir).root / "traces"
+    inventory = TraceInventory(root=traces_dir)
+    if not traces_dir.is_dir():
+        return inventory
+    for path in sorted(
+        p
+        for pattern in ("*.npy", "replay-*.npz")
+        for p in traces_dir.glob(pattern)
+    ):
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        inventory.entries.append((path.name, size, provenance_line(path)))
+    inventory.quarantined = [
+        p.name for p in quarantined_artifacts(traces_dir)
+    ]
+    return inventory

@@ -34,6 +34,12 @@ def run_alone(
 ) -> SingleRunResult:
     """Run *benchmark* alone; optionally attach passive footprint monitors."""
     spec = BENCHMARKS.get(benchmark)
+    if spec is None and benchmark.startswith("tgt:"):
+        # Ingested targets resolve through the active registry (raises
+        # with ingest guidance when the target is unknown there).
+        from repro.targets.registry import require_target
+
+        spec = require_target(benchmark)
     if spec is None:
         raise ValueError(f"unknown benchmark {benchmark!r}")
     solo_config = config.with_cores(1)

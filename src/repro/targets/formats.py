@@ -1,0 +1,344 @@
+"""Streaming decoders for external memory-trace formats.
+
+Three formats cover the common simulator ecosystems:
+
+* **ChampSim** (``.trace``, usually ``.gz``/``.xz`` compressed) — the
+  64-byte binary ``input_instr`` records ChampSim's tracer emits: one
+  record per instruction with up to four source (load) and two
+  destination (store) memory operands, a zero operand meaning "unused";
+* **DynamoRIO drcachesim** text — the ``drcachesim``/``view`` record
+  listing (``T<tid> read 8 byte(s) @ 0x...``); ``ifetch``/``instr``
+  records advance the instruction count and the current PC, ``read``/
+  ``write`` records are the memory accesses;
+* **valgrind lackey** — ``--tool=lackey --trace-mem=yes`` output
+  (``I``/``L``/``S``/``M`` lines with ``addr,size`` operands); ``M``
+  (modify) is decoded as a single write access, the shape it reaches a
+  write-allocate cache in.
+
+Every decoder is a *generator of chunk batches*: it reads a bounded slice
+of the input (a fixed number of binary records or text lines), decodes it
+into NumPy arrays — block addresses (byte address over the block size),
+issuing PCs and write flags, plus the number of instructions the slice
+covered — and yields, so arbitrarily large traces stream through in
+bounded memory.  Block addresses are masked to :data:`ADDR_BITS` bits and
+PCs to :data:`PC_BITS`, which (a) keeps every value inside the shared
+trace store's ``int64`` schema and (b) leaves the per-core address-offset
+bits (:class:`~repro.trace.benchmarks.TraceSource` separates co-running
+cores at bit 36) alias-free — a trace would need to span 4 TB of virtual
+address space before masking could fold two distinct blocks together.
+
+The ``encode_*`` helpers write the same formats from a neutral
+:class:`SyntheticInstr` description.  They exist for the committed test
+fixtures and the property suites (encode → parse → chunks must
+round-trip); production ingestion only ever reads.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import lzma
+import struct
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import NamedTuple
+
+import numpy as np
+
+#: The supported external formats, in documentation order.
+FORMATS = ("champsim", "drcachesim", "lackey")
+
+#: Block addresses keep this many low bits — one 4 TB window per core,
+#: disjoint from the ``(core_id + 1) << 36`` co-runner offsets.
+ADDR_BITS = 36
+#: PCs keep this many low bits (signature predictors fold them anyway;
+#: the mask only guards the store's signed 64-bit schema).
+PC_BITS = 48
+
+_ADDR_MASK = (1 << ADDR_BITS) - 1
+_PC_MASK = (1 << PC_BITS) - 1
+
+#: ChampSim's ``input_instr``: ip, two branch flags, 2+4 register ids,
+#: 2 destination + 4 source memory operands — 64 bytes, no padding.
+CHAMPSIM_DTYPE = np.dtype(
+    [
+        ("ip", "<u8"),
+        ("is_branch", "u1"),
+        ("branch_taken", "u1"),
+        ("dst_reg", "u1", (2,)),
+        ("src_reg", "u1", (4,)),
+        ("dst_mem", "<u8", (2,)),
+        ("src_mem", "<u8", (4,)),
+    ]
+)
+
+#: Binary records / text lines decoded per yielded batch.
+BATCH_RECORDS = 8192
+BATCH_LINES = 65536
+
+
+class ChunkBatch(NamedTuple):
+    """One decoded slice of a trace stream."""
+
+    addrs: np.ndarray  # int64 block addresses (ADDR_BITS-masked)
+    pcs: np.ndarray  # int64 issuing PCs (PC_BITS-masked)
+    writes: np.ndarray  # bool, True for stores
+    instructions: int  # instructions the slice covered
+
+
+class FormatError(ValueError):
+    """The input does not decode as the claimed trace format."""
+
+
+def _block_shift(block_size: int) -> int:
+    if block_size <= 0 or block_size & (block_size - 1):
+        raise ValueError(f"block size must be a power of two, got {block_size}")
+    return block_size.bit_length() - 1
+
+
+def detect_format(path: str | Path) -> str:
+    """Guess the trace format from a file name; raise when ambiguous."""
+    name = Path(path).name.lower()
+    for suffix in (".gz", ".xz"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    if "lackey" in name:
+        return "lackey"
+    if "drcachesim" in name or name.endswith(".dr"):
+        return "drcachesim"
+    if "champsim" in name or name.endswith(".trace"):
+        return "champsim"
+    raise FormatError(
+        f"cannot infer a trace format from {Path(path).name!r}; "
+        f"pass --format {{{','.join(FORMATS)}}}"
+    )
+
+
+def open_stream(path: str | Path) -> io.BufferedIOBase:
+    """Open a (possibly ``.gz``/``.xz`` compressed) trace file for reading."""
+    name = str(path).lower()
+    if name.endswith(".gz"):
+        return gzip.open(path, "rb")
+    if name.endswith(".xz"):
+        return lzma.open(path, "rb")
+    return open(path, "rb")
+
+
+def iter_chunks(
+    stream: io.BufferedIOBase, fmt: str, block_size: int = 64
+) -> Iterator[ChunkBatch]:
+    """Decode *stream* as *fmt*, yielding bounded :class:`ChunkBatch` slices."""
+    if fmt == "champsim":
+        return _iter_champsim(stream, block_size)
+    if fmt == "drcachesim":
+        return _iter_drcachesim(stream, block_size)
+    if fmt == "lackey":
+        return _iter_lackey(stream, block_size)
+    raise FormatError(f"unknown trace format {fmt!r}; options: {FORMATS}")
+
+
+# -- ChampSim (binary) -------------------------------------------------------------
+
+
+def _iter_champsim(stream, block_size: int) -> Iterator[ChunkBatch]:
+    shift = _block_shift(block_size)
+    record = CHAMPSIM_DTYPE.itemsize
+    while True:
+        raw = stream.read(BATCH_RECORDS * record)
+        if not raw:
+            return
+        if len(raw) % record:
+            raise FormatError(
+                f"truncated ChampSim stream: {len(raw) % record} trailing bytes "
+                f"(records are {record} bytes)"
+            )
+        recs = np.frombuffer(raw, dtype=CHAMPSIM_DTYPE)
+        # Operand matrix in per-instruction issue order: the four source
+        # (load) slots, then the two destination (store) slots.  Row-major
+        # nonzero scan preserves that order across the whole batch.
+        ops = np.concatenate([recs["src_mem"], recs["dst_mem"]], axis=1)
+        rows, cols = np.nonzero(ops)
+        addrs = ((ops[rows, cols] >> shift) & _ADDR_MASK).astype(np.int64)
+        pcs = (recs["ip"][rows] & _PC_MASK).astype(np.int64)
+        writes = cols >= 4
+        yield ChunkBatch(addrs, pcs, writes, instructions=len(recs))
+
+
+# -- text formats ------------------------------------------------------------------
+
+
+def _batched_lines(stream) -> Iterator[list[bytes]]:
+    text = io.BufferedReader(stream) if not isinstance(stream, io.BufferedReader) else stream
+    while True:
+        lines = text.readlines(BATCH_LINES * 32)
+        if not lines:
+            return
+        yield lines
+
+
+def _batch_arrays(
+    addrs: list[int], pcs: list[int], writes: list[bool], instructions: int
+) -> ChunkBatch:
+    return ChunkBatch(
+        np.array(addrs, dtype=np.int64),
+        np.array(pcs, dtype=np.int64),
+        np.array(writes, dtype=bool),
+        instructions,
+    )
+
+
+def _iter_drcachesim(stream, block_size: int) -> Iterator[ChunkBatch]:
+    """The ``drcachesim``/``view`` record listing.
+
+    Decoded per line: a type keyword (``ifetch``/``instr`` advance the
+    instruction count and current PC; ``read``/``write`` emit an access at
+    that PC) and the ``@ 0x...`` address.  Unrecognised lines — headers,
+    markers, thread-exit records — are skipped.
+    """
+    shift = _block_shift(block_size)
+    pc = 0
+    for lines in _batched_lines(stream):
+        addrs: list[int] = []
+        pcs: list[int] = []
+        writes: list[bool] = []
+        instructions = 0
+        for raw in lines:
+            at = raw.find(b"@")
+            if at < 0:
+                continue
+            head = raw[:at]
+            write = b" write " in head
+            if not write and b" read " not in head:
+                if b"ifetch" in head or b" instr " in head:
+                    try:
+                        pc = int(raw[at + 1 :].split(None, 1)[0], 16)
+                    except (ValueError, IndexError) as exc:
+                        raise FormatError(f"bad drcachesim line: {raw!r}") from exc
+                    instructions += 1
+                continue
+            try:
+                addr = int(raw[at + 1 :].split(None, 1)[0], 16)
+            except (ValueError, IndexError) as exc:
+                raise FormatError(f"bad drcachesim line: {raw!r}") from exc
+            addrs.append((addr >> shift) & _ADDR_MASK)
+            pcs.append(pc & _PC_MASK)
+            writes.append(write)
+        yield _batch_arrays(addrs, pcs, writes, instructions)
+
+
+def _iter_lackey(stream, block_size: int) -> Iterator[ChunkBatch]:
+    """``valgrind --tool=lackey --trace-mem=yes`` output.
+
+    ``I`` lines advance the instruction count and current PC; ``L``
+    (load), ``S`` (store) and ``M`` (modify, decoded as a write) lines
+    emit accesses.  Anything else — the ``==pid==`` banner, blank lines —
+    is skipped.
+    """
+    shift = _block_shift(block_size)
+    pc = 0
+    for lines in _batched_lines(stream):
+        addrs: list[int] = []
+        pcs: list[int] = []
+        writes: list[bool] = []
+        instructions = 0
+        for raw in lines:
+            s = raw.strip()
+            if not s:
+                continue
+            kind = s[:1]
+            if kind not in b"ILSM":
+                continue
+            body = s[1:].strip()
+            try:
+                addr = int(body.split(b",", 1)[0], 16)
+            except (ValueError, IndexError) as exc:
+                raise FormatError(f"bad lackey line: {raw!r}") from exc
+            if kind == b"I":
+                pc = addr
+                instructions += 1
+                continue
+            addrs.append((addr >> shift) & _ADDR_MASK)
+            pcs.append(pc & _PC_MASK)
+            writes.append(kind != b"L")
+        yield _batch_arrays(addrs, pcs, writes, instructions)
+
+
+# -- encoders (fixtures + property tests) ------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyntheticInstr:
+    """One instruction for the fixture/property encoders.
+
+    *reads*/*writes* are byte addresses; ChampSim's record shape caps them
+    at four loads and two stores per instruction.
+    """
+
+    pc: int
+    reads: tuple[int, ...] = field(default_factory=tuple)
+    writes: tuple[int, ...] = field(default_factory=tuple)
+
+
+def expected_accesses(
+    instrs: list[SyntheticInstr], block_size: int = 64
+) -> ChunkBatch:
+    """The canonical decode of *instrs*: what every parser must produce."""
+    shift = _block_shift(block_size)
+    addrs: list[int] = []
+    pcs: list[int] = []
+    writes: list[bool] = []
+    for instr in instrs:
+        for addr in instr.reads:
+            addrs.append((addr >> shift) & _ADDR_MASK)
+            pcs.append(instr.pc & _PC_MASK)
+            writes.append(False)
+        for addr in instr.writes:
+            addrs.append((addr >> shift) & _ADDR_MASK)
+            pcs.append(instr.pc & _PC_MASK)
+            writes.append(True)
+    return _batch_arrays(addrs, pcs, writes, len(instrs))
+
+
+def encode_champsim(instrs: list[SyntheticInstr]) -> bytes:
+    """Binary ``input_instr`` records (≤4 reads / ≤2 writes per instruction)."""
+    out = bytearray()
+    for instr in instrs:
+        if len(instr.reads) > 4 or len(instr.writes) > 2:
+            raise ValueError("ChampSim records hold at most 4 loads / 2 stores")
+        src = list(instr.reads) + [0] * (4 - len(instr.reads))
+        dst = list(instr.writes) + [0] * (2 - len(instr.writes))
+        out += struct.pack(
+            "<QBB2B4s2Q4Q", instr.pc, 0, 0, 0, 0, b"\0\0\0\0", *dst, *src
+        )
+    return bytes(out)
+
+
+def encode_drcachesim(instrs: list[SyntheticInstr], tid: int = 1) -> str:
+    """The ``view`` listing shape (record ordinal, thread, type, address)."""
+    lines = []
+    ordinal = 1
+    for instr in instrs:
+        lines.append(
+            f"{ordinal:>8}: T{tid} ifetch      4 byte(s) @ 0x{instr.pc:016x} non-branch"
+        )
+        ordinal += 1
+        for addr in instr.reads:
+            lines.append(f"{ordinal:>8}: T{tid} read        8 byte(s) @ 0x{addr:016x}")
+            ordinal += 1
+        for addr in instr.writes:
+            lines.append(f"{ordinal:>8}: T{tid} write       8 byte(s) @ 0x{addr:016x}")
+            ordinal += 1
+    return "\n".join(lines) + "\n"
+
+
+def encode_lackey(instrs: list[SyntheticInstr]) -> str:
+    """``--trace-mem=yes`` line shape (I/L/S records, ``addr,size``)."""
+    lines = []
+    for instr in instrs:
+        lines.append(f"I  {instr.pc:08X},4")
+        for addr in instr.reads:
+            lines.append(f" L {addr:08X},8")
+        for addr in instr.writes:
+            lines.append(f" S {addr:08X},8")
+    return "\n".join(lines) + "\n"

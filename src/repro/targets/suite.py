@@ -1,0 +1,51 @@
+"""Multi-programmed workloads over ingested targets (``--benchmark-set``).
+
+The synthetic suites are sampled under Table 6's class constraints;
+ingested targets carry no Footprint-number classes, so the real suite
+composes by *rotation*: workload *i* assigns the registered targets
+(sorted, so composition is independent of ingestion order) starting at
+offset *i*, then applies a seed-derived core permutation — every target
+appears on every core position across the suite, and different master
+seeds exercise different placements, mirroring how the synthetic suites
+re-sample per seed.  With fewer targets than cores a mix repeats targets
+across cores; the per-core address offset keeps their streams disjoint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.targets.registry import active_dir, load_registry
+from repro.trace.workloads import Workload
+from repro.util.rng import derive_seed
+
+
+def real_suite(
+    cores: int,
+    num_workloads: int,
+    master_seed: int = 0,
+    directory: str | Path | None = None,
+) -> list[Workload]:
+    """The ingested-target suite for *cores* (at most one per rotation)."""
+    names = sorted(load_registry(directory))
+    if not names:
+        where = active_dir(directory)
+        raise ValueError(
+            "benchmark set 'real' needs ingested targets, but "
+            + (f"{where} has none" if where else "no targets directory is active")
+            + "; run: repro-experiments targets ingest <trace-file>"
+        )
+    count = max(1, min(num_workloads, len(names)))
+    rng = np.random.default_rng(derive_seed(master_seed, f"targets/{cores}core"))
+    suite = []
+    for i in range(count):
+        mix = [names[(i + j) % len(names)] for j in range(cores)]
+        order = rng.permutation(cores)
+        suite.append(
+            Workload(
+                f"{cores}core-real-{i:03d}", tuple(mix[k] for k in order)
+            )
+        )
+    return suite

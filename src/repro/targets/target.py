@@ -1,0 +1,190 @@
+"""Targets: named trace bundles with pluggable acquisition sources.
+
+Modeled on instrumentation-infra's SPEC target classes: a
+:class:`Target` names a workload bundle and delegates *where the trace
+files come from* to an :class:`AcquisitionSource` —
+
+* :class:`LocalFile` — a single trace file already on disk, optionally
+  pinned to an expected SHA-256 (a mismatch aborts the fetch);
+* :class:`LocalDirectory` — every file matching a glob under a
+  directory (a mounted benchmark share, an extracted dump);
+* :class:`Tarball` — members matching a pattern inside a ``.tar``
+  archive (``.tar.gz``/``.tar.xz`` included), extracted into a private
+  staging directory.
+
+``fetch`` returns concrete :class:`TraceFile` paths ready for the
+ingestion pipeline (:mod:`repro.targets.ingest`); verification reuses
+the ``.sha256`` sidecar convention of :mod:`repro.runner.integrity`, so
+a sidecar sitting next to a local trace file is honoured automatically.
+"""
+
+from __future__ import annotations
+
+import tarfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runner.integrity import file_digest, verify_artifact
+from repro.targets.formats import detect_format
+
+
+class AcquisitionError(RuntimeError):
+    """A source could not produce (verified) trace files."""
+
+
+@dataclass(frozen=True)
+class TraceFile:
+    """One concrete trace file a source produced."""
+
+    path: Path
+    fmt: str
+    sha256: str
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+
+def _verified(path: Path, expected: str | None, fmt: str | None) -> TraceFile:
+    """Digest + verify one file and resolve its format."""
+    path = Path(path)
+    if not path.is_file():
+        raise AcquisitionError(f"trace file not found: {path}")
+    digest = file_digest(path)
+    if expected and digest != expected:
+        raise AcquisitionError(
+            f"checksum mismatch for {path.name}: expected {expected[:12]}..., "
+            f"got {digest[:12]}..."
+        )
+    # An adjacent .sha256 sidecar (integrity-module convention) is a
+    # second, implicit pin; only an outright mismatch aborts.
+    if expected is None and verify_artifact(path) is False:
+        raise AcquisitionError(f"sidecar checksum mismatch for {path.name}")
+    return TraceFile(path=path, fmt=fmt or detect_format(path), sha256=digest)
+
+
+class AcquisitionSource:
+    """Base: produce verified trace files into/under *staging_dir*."""
+
+    def fetch(self, staging_dir: Path) -> list[TraceFile]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LocalFile(AcquisitionSource):
+    """A single on-disk trace file, optionally checksum-pinned."""
+
+    path: str | Path
+    fmt: str | None = None
+    sha256: str | None = None
+
+    def fetch(self, staging_dir: Path) -> list[TraceFile]:
+        return [_verified(Path(self.path), self.sha256, self.fmt)]
+
+
+@dataclass(frozen=True)
+class LocalDirectory(AcquisitionSource):
+    """Every file matching *pattern* under *root* (sorted, stable order)."""
+
+    root: str | Path
+    pattern: str = "*"
+    fmt: str | None = None
+    #: Optional name -> expected sha256 pins.
+    checksums: dict[str, str] = field(default_factory=dict)
+
+    def fetch(self, staging_dir: Path) -> list[TraceFile]:
+        root = Path(self.root)
+        if not root.is_dir():
+            raise AcquisitionError(f"trace directory not found: {root}")
+        paths = sorted(p for p in root.glob(self.pattern) if p.is_file())
+        if not paths:
+            raise AcquisitionError(
+                f"no files match {self.pattern!r} under {root}"
+            )
+        return [
+            _verified(p, self.checksums.get(p.name), self.fmt) for p in paths
+        ]
+
+
+@dataclass(frozen=True)
+class Tarball(AcquisitionSource):
+    """Members matching *pattern* inside a (compressed) tar archive."""
+
+    archive: str | Path
+    pattern: str = "*"
+    fmt: str | None = None
+    sha256: str | None = None  # pin of the archive itself
+    checksums: dict[str, str] = field(default_factory=dict)
+
+    def fetch(self, staging_dir: Path) -> list[TraceFile]:
+        archive = Path(self.archive)
+        if not archive.is_file():
+            raise AcquisitionError(f"archive not found: {archive}")
+        if self.sha256:
+            digest = file_digest(archive)
+            if digest != self.sha256:
+                raise AcquisitionError(
+                    f"archive checksum mismatch for {archive.name}: "
+                    f"expected {self.sha256[:12]}..., got {digest[:12]}..."
+                )
+        staging_dir.mkdir(parents=True, exist_ok=True)
+        extracted: list[Path] = []
+        try:
+            with tarfile.open(archive) as tar:
+                for member in tar.getmembers():
+                    name = Path(member.name).name
+                    if not member.isfile() or not Path(name).match(self.pattern):
+                        continue
+                    # Flatten: extract by basename into the private staging
+                    # area, never honouring archive-supplied paths.
+                    src = tar.extractfile(member)
+                    if src is None:
+                        continue
+                    dest = staging_dir / name
+                    with open(dest, "wb") as out:
+                        while True:
+                            block = src.read(1 << 20)
+                            if not block:
+                                break
+                            out.write(block)
+                    extracted.append(dest)
+        except tarfile.TarError as exc:
+            raise AcquisitionError(f"cannot read {archive.name}: {exc}") from exc
+        if not extracted:
+            raise AcquisitionError(
+                f"no members match {self.pattern!r} in {archive.name}"
+            )
+        return [
+            _verified(p, self.checksums.get(p.name), self.fmt)
+            for p in sorted(extracted)
+        ]
+
+
+@dataclass(frozen=True)
+class Target:
+    """A named trace bundle: where it comes from + how to decode it."""
+
+    name: str
+    source: AcquisitionSource
+    block_size: int = 64
+    mlp: float = 2.0
+    base_cpi: float = 1.0
+
+    def trace_set(self, staging_dir: str | Path) -> "TraceSet":
+        return TraceSet(
+            target=self, files=self.source.fetch(Path(staging_dir))
+        )
+
+
+@dataclass(frozen=True)
+class TraceSet:
+    """The fetched, verified trace files of one target."""
+
+    target: Target
+    files: list[TraceFile]
+
+    def __iter__(self):
+        return iter(self.files)
+
+    def __len__(self) -> int:
+        return len(self.files)

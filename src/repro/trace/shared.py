@@ -135,7 +135,12 @@ class SharedTraceStore:
         # Lazy import: repro.runner.parallel imports this module, so the
         # integrity/fault helpers can't be top-level without a cycle.
         from repro.runner import faults
-        from repro.runner.integrity import quarantine, verify_artifact, write_checksum
+        from repro.runner.integrity import (
+            quarantine,
+            verify_artifact,
+            write_checksum,
+            write_meta,
+        )
 
         key = trace_key(spec.name, geometry, core_id, master_seed, n_chunks)
         path = self.path_for(key)
@@ -168,6 +173,22 @@ class SharedTraceStore:
                     pass
                 raise
             write_checksum(path)
+            # Generator provenance rides in a meta sidecar, so the gc/ls
+            # inventory and ``targets info`` render synthetic buffers
+            # uniformly with ingested ones.
+            write_meta(
+                path,
+                {
+                    "kind": "synthetic",
+                    "generator": spec.name,
+                    "pattern": spec.pattern,
+                    "paper_class": spec.paper_class,
+                    "core_id": core_id,
+                    "master_seed": master_seed,
+                    "n_chunks": n_chunks,
+                    "format_version": FORMAT_VERSION,
+                },
+            )
             faults.corrupt_artifact("trace", path, path.name)
             self.stats["materialised"] += 1
         return {
@@ -250,10 +271,20 @@ def make_source(
 
     The single construction point the simulation builders go through, so
     every run — pooled, inline or direct — transparently benefits from an
-    installed manifest.
+    installed manifest.  ``tgt:``-prefixed names (and resolved
+    :class:`~repro.targets.registry.TargetSpec` objects) dispatch to the
+    ingested-trace frontend, which memory-maps its own buffers.
     """
     if isinstance(spec, str):
+        if spec.startswith("tgt:"):
+            from repro.targets.registry import make_target_source
+
+            return make_target_source(spec, geometry, core_id, master_seed)
         spec = BENCHMARKS[spec]
+    elif getattr(spec, "kind", None) == "target":
+        from repro.targets.registry import make_target_source
+
+        return make_target_source(spec, geometry, core_id, master_seed)
     buffer = lookup(spec.name, geometry, core_id, master_seed)
     if buffer is not None:
         return SharedTraceSource(spec, geometry, core_id, master_seed, buffer)

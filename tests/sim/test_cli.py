@@ -41,7 +41,7 @@ class TestCli:
 
 
 #: Minimal extra argv for commands with required positionals.
-POSITIONALS = {"profile": ["fig3"], "traces": ["gc"]}
+POSITIONALS = {"profile": ["fig3"], "traces": ["gc"], "targets": ["list"]}
 
 
 def _stub_command(monkeypatch, name, rc=0):
@@ -86,9 +86,10 @@ class TestRegistry:
             assert main(argv) == 0
             assert len(calls) == 1
 
-    def test_per_command_flags_are_not_global(self):
+    def test_per_command_flags_are_not_global(self, capsys):
         # Each of these flags exists on exactly one other command; using it
-        # elsewhere is a usage error instead of being silently ignored.
+        # elsewhere is a usage error instead of being silently ignored —
+        # and the error names the offending subcommand.
         for argv in (
             ["fig3", "--regen"],
             ["golden", "--dry-run"],
@@ -96,9 +97,9 @@ class TestRegistry:
             ["fig3", "--top", "10"],
             ["report", "--regen"],
         ):
-            with pytest.raises(SystemExit) as err:
-                main(argv)
-            assert err.value.code == 2
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert f"{argv[0]}: unrecognized arguments:" in err
 
     def test_simulated_commands_expose_seed_and_store_flags(self):
         parser = build_parser()

@@ -1,0 +1,24 @@
+"""Shared fixtures for the targets subsystem tests.
+
+Targets resolve through ``REPRO_TARGETS_DIR`` and a couple of budget
+variables; the autouse fixture strips them all so every test starts from
+a clean environment and nothing leaks between tests (or in from the CI
+job that sets ``REPRO_SCALE``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _clean_targets_env(monkeypatch):
+    for var in ("REPRO_TARGETS_DIR", "REPRO_TRACE_BUDGET", "REPRO_SCALE"):
+        monkeypatch.delenv(var, raising=False)
+
+
+@pytest.fixture
+def traces_dir(tmp_path) -> Path:
+    return tmp_path / "traces"

@@ -1,0 +1,87 @@
+"""Deterministic generator for the committed trace fixtures.
+
+The fixtures under ``fixtures/`` are tiny (<10 KB each) but real: one
+file per supported format, produced by the ``encode_*`` helpers from a
+seeded instruction stream.  Tests import :func:`fixture_instrs` to know
+exactly what each fixture must decode to; running this module as a
+script regenerates the files byte-identically (the gzip member is
+written with ``mtime=0``)::
+
+    PYTHONPATH=src python tests/targets/make_fixtures.py
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from repro.targets.formats import (
+    SyntheticInstr,
+    encode_champsim,
+    encode_drcachesim,
+    encode_lackey,
+)
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+#: file name -> (format, instruction count, rng stream label)
+FIXTURES = {
+    "toy-champsim.trace.gz": ("champsim", 96, "champsim"),
+    "toy.drcachesim.txt": ("drcachesim", 40, "drcachesim"),
+    "toy.lackey.out": ("lackey", 120, "lackey"),
+}
+
+
+def fixture_instrs(name: str) -> list[SyntheticInstr]:
+    """The exact instruction stream a fixture encodes."""
+    _, count, label = FIXTURES[name]
+    rng = np.random.default_rng(abs(hash_label(label)))
+    instrs = []
+    for _ in range(count):
+        pc = int(rng.integers(0x400000, 0x500000)) & ~3
+        reads = tuple(
+            int(rng.integers(0x1000, 1 << 30)) for _ in range(int(rng.integers(0, 4)))
+        )
+        writes = tuple(
+            int(rng.integers(0x1000, 1 << 30)) for _ in range(int(rng.integers(0, 3)))
+        )
+        instrs.append(SyntheticInstr(pc=pc, reads=reads, writes=writes))
+    # Guarantee at least one access even if the dice rolled all-empty.
+    if not any(i.reads or i.writes for i in instrs):
+        instrs[0] = SyntheticInstr(pc=0x400000, reads=(0x2000,))
+    return instrs
+
+
+def hash_label(label: str) -> int:
+    """A stable (non-PYTHONHASHSEED) integer seed for a stream label."""
+    value = 2016  # the paper's year anchors every fixture stream
+    for ch in label.encode():
+        value = (value * 131 + ch) % (1 << 31)
+    return value
+
+
+def write_fixtures(directory: Path = FIXTURE_DIR) -> list[Path]:
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, (fmt, _, _) in FIXTURES.items():
+        instrs = fixture_instrs(name)
+        path = directory / name
+        if fmt == "champsim":
+            payload = encode_champsim(instrs)
+            with open(path, "wb") as fh:
+                # mtime=0 keeps the compressed bytes reproducible.
+                with gzip.GzipFile(fileobj=fh, mode="wb", mtime=0) as gz:
+                    gz.write(payload)
+        elif fmt == "drcachesim":
+            path.write_text(encode_drcachesim(instrs))
+        else:
+            path.write_text(encode_lackey(instrs))
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    for path in write_fixtures():
+        print(f"{path} ({path.stat().st_size} bytes)")

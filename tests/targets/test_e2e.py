@@ -1,0 +1,101 @@
+"""End-to-end: ingest fixtures -> tournament on the real set -> report."""
+
+from __future__ import annotations
+
+import pytest
+from make_fixtures import FIXTURE_DIR
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.tournament import run_tournament
+from repro.report import report_from_store
+from repro.report.tables import render_ranked
+from repro.runner import ResultStore
+from repro.sim.config import SystemConfig
+from repro.targets import ingest_file
+from repro.trace.workloads import Workload
+
+TINY = ExperimentSettings(
+    quota=800,
+    warmup=200,
+    alone_quota=900,
+    alone_warmup=100,
+    workloads={4: 2},
+)
+
+FIXTURES = (
+    FIXTURE_DIR / "toy-champsim.trace.gz",
+    FIXTURE_DIR / "toy.drcachesim.txt",
+    FIXTURE_DIR / "toy.lackey.out",
+)
+
+
+@pytest.fixture(scope="module")
+def results_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("real-tournament")
+    for path in FIXTURES:
+        ingest_file(path, directory=out / "traces")
+    run = run_tournament(
+        SystemConfig.scaled(4),
+        policies=("lru", "tadrrip"),
+        cores=(4,),
+        seeds=(0,),
+        benchmark_set="real",
+        jobs=1,
+        results_dir=out,
+        settings=TINY,
+    )
+    assert run.scheduled == 2 * 2  # policies x workloads
+    assert run.executed > 0 and run.failed == 0
+    return out
+
+
+def test_report_marks_real_cells(results_dir):
+    report = report_from_store(ResultStore(results_dir), n_resamples=100)
+    assert len(report.data.cells) == 4
+    assert report.data.real_cells == 4
+    assert report.data.workloads == ["4core-real-000", "4core-real-001"]
+    rendered = render_ranked(report)
+    assert "4 cells ran ingested real-workload traces" in rendered
+
+
+def test_rerun_is_fully_cached(results_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_TARGETS_DIR", str(results_dir / "traces"))
+    again = run_tournament(
+        SystemConfig.scaled(4),
+        policies=("lru", "tadrrip"),
+        cores=(4,),
+        seeds=(0,),
+        benchmark_set="real",
+        jobs=1,
+        results_dir=results_dir,
+        settings=TINY,
+    )
+    assert again.executed == 0
+    assert again.store_hits >= again.scheduled
+
+
+def test_all_set_composes_both_rosters(results_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_TARGETS_DIR", str(results_dir / "traces"))
+    from dataclasses import replace
+
+    suite = replace(TINY, benchmark_set="all").suite(4)
+    real = [w for w in suite if all(b.startswith("tgt:") for b in w.benchmarks)]
+    synthetic = [w for w in suite if w not in real]
+    assert len(real) == 2 and len(synthetic) == 2
+    assert all(isinstance(w, Workload) for w in suite)
+
+
+def test_real_set_without_ingested_targets_fails_cleanly(tmp_path):
+    from dataclasses import replace
+
+    with pytest.raises(ValueError, match="targets ingest"):
+        run_tournament(
+            SystemConfig.scaled(4),
+            policies=("lru",),
+            cores=(4,),
+            seeds=(0,),
+            benchmark_set="real",
+            jobs=1,
+            results_dir=tmp_path / "empty",
+            settings=replace(TINY, benchmark_set="real"),
+        )

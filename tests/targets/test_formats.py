@@ -1,0 +1,232 @@
+"""Streaming parsers: fixtures decode to their generator stream, and
+every ``encode_* -> iter_chunks`` pair round-trips property-style."""
+
+from __future__ import annotations
+
+import gzip
+import io
+import lzma
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from make_fixtures import FIXTURE_DIR, fixture_instrs
+
+from repro.targets.formats import (
+    CHAMPSIM_DTYPE,
+    FORMATS,
+    ChunkBatch,
+    FormatError,
+    SyntheticInstr,
+    detect_format,
+    encode_champsim,
+    encode_drcachesim,
+    encode_lackey,
+    expected_accesses,
+    iter_chunks,
+    open_stream,
+)
+
+CHAMPSIM_FIXTURE = FIXTURE_DIR / "toy-champsim.trace.gz"
+DRCACHESIM_FIXTURE = FIXTURE_DIR / "toy.drcachesim.txt"
+LACKEY_FIXTURE = FIXTURE_DIR / "toy.lackey.out"
+
+
+def decode_all(stream, fmt: str, block_size: int = 64) -> ChunkBatch:
+    """Concatenate every batch the parser yields."""
+    addrs, pcs, writes, instructions = [], [], [], 0
+    for batch in iter_chunks(stream, fmt, block_size):
+        addrs.append(batch.addrs)
+        pcs.append(batch.pcs)
+        writes.append(batch.writes)
+        instructions += batch.instructions
+    return ChunkBatch(
+        np.concatenate(addrs) if addrs else np.empty(0, dtype=np.int64),
+        np.concatenate(pcs) if pcs else np.empty(0, dtype=np.int64),
+        np.concatenate(writes) if writes else np.empty(0, dtype=bool),
+        instructions,
+    )
+
+
+def assert_batches_equal(got: ChunkBatch, want: ChunkBatch) -> None:
+    np.testing.assert_array_equal(got.addrs, want.addrs)
+    np.testing.assert_array_equal(got.pcs, want.pcs)
+    np.testing.assert_array_equal(got.writes, want.writes)
+    assert got.instructions == want.instructions
+
+
+class TestDetectFormat:
+    @pytest.mark.parametrize(
+        ("name", "fmt"),
+        [
+            ("app.champsim.trace.gz", "champsim"),
+            ("600.perlbench.trace.xz", "champsim"),
+            ("mcf.trace", "champsim"),
+            ("run.drcachesim.txt", "drcachesim"),
+            ("memtrace.dr", "drcachesim"),
+            ("app.lackey.out", "lackey"),
+            ("lackey-pid1234.log.gz", "lackey"),
+        ],
+    )
+    def test_known_names(self, name, fmt):
+        assert detect_format(name) == fmt
+
+    def test_ambiguous_name_raises_with_options(self):
+        with pytest.raises(FormatError, match="--format"):
+            detect_format("mystery.bin")
+
+    def test_formats_tuple_matches_dispatch(self):
+        for fmt in FORMATS:
+            assert list(iter_chunks(io.BytesIO(b""), fmt)) == []
+        with pytest.raises(FormatError, match="unknown trace format"):
+            list(iter_chunks(io.BytesIO(b""), "itrace"))
+
+
+class TestFixturesDecode:
+    """The committed fixtures decode to exactly their generator stream."""
+
+    @pytest.mark.parametrize(
+        ("path", "fmt"),
+        [
+            (CHAMPSIM_FIXTURE, "champsim"),
+            (DRCACHESIM_FIXTURE, "drcachesim"),
+            (LACKEY_FIXTURE, "lackey"),
+        ],
+    )
+    def test_fixture_round_trip(self, path, fmt):
+        want = expected_accesses(fixture_instrs(path.name))
+        assert len(want.addrs) > 0
+        with open_stream(path) as stream:
+            got = decode_all(stream, fmt)
+        assert_batches_equal(got, want)
+
+    def test_fixture_formats_are_inferred(self):
+        assert detect_format(CHAMPSIM_FIXTURE) == "champsim"
+        assert detect_format(DRCACHESIM_FIXTURE) == "drcachesim"
+        assert detect_format(LACKEY_FIXTURE) == "lackey"
+
+    def test_fixtures_stay_tiny(self):
+        for path in (CHAMPSIM_FIXTURE, DRCACHESIM_FIXTURE, LACKEY_FIXTURE):
+            assert path.stat().st_size < 10_000
+
+
+# ChampSim drops zero operands, so generated addresses are >= 1; sizes
+# follow the record shape (<=4 loads / <=2 stores).
+_addr = st.integers(min_value=1, max_value=(1 << 44) - 1)
+_instr = st.builds(
+    SyntheticInstr,
+    pc=st.integers(min_value=0, max_value=(1 << 52) - 1),
+    reads=st.lists(_addr, max_size=4).map(tuple),
+    writes=st.lists(_addr, max_size=2).map(tuple),
+)
+_stream = st.lists(_instr, min_size=1, max_size=60)
+
+
+class TestEncodeParseRoundTrip:
+    @given(instrs=_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_champsim(self, instrs):
+        got = decode_all(io.BytesIO(encode_champsim(instrs)), "champsim")
+        assert_batches_equal(got, expected_accesses(instrs))
+
+    @given(instrs=_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_drcachesim(self, instrs):
+        payload = encode_drcachesim(instrs).encode()
+        got = decode_all(io.BytesIO(payload), "drcachesim")
+        assert_batches_equal(got, expected_accesses(instrs))
+
+    @given(instrs=_stream)
+    @settings(max_examples=30, deadline=None)
+    def test_lackey(self, instrs):
+        payload = encode_lackey(instrs).encode()
+        got = decode_all(io.BytesIO(payload), "lackey")
+        assert_batches_equal(got, expected_accesses(instrs))
+
+    @given(
+        instrs=_stream,
+        block_size=st.sampled_from([16, 64, 128, 4096]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_block_size_is_honoured(self, instrs, block_size):
+        got = decode_all(
+            io.BytesIO(encode_champsim(instrs)), "champsim", block_size
+        )
+        assert_batches_equal(got, expected_accesses(instrs, block_size))
+
+
+class TestChampsimEdges:
+    def test_truncated_stream_raises(self):
+        instrs = [SyntheticInstr(pc=0x400000, reads=(0x1000,))]
+        payload = encode_champsim(instrs)[:-7]
+        with pytest.raises(FormatError, match="truncated"):
+            decode_all(io.BytesIO(payload), "champsim")
+
+    def test_record_size_is_champsim_canonical(self):
+        assert CHAMPSIM_DTYPE.itemsize == 64
+
+    def test_zero_operands_are_unused_slots(self):
+        # One load in slot 0, slots 1-3 and both stores zero: exactly one
+        # access comes out.
+        payload = encode_champsim([SyntheticInstr(pc=0x10, reads=(0x8000,))])
+        got = decode_all(io.BytesIO(payload), "champsim")
+        assert len(got.addrs) == 1 and not got.writes[0]
+
+    def test_operand_cap_is_enforced(self):
+        with pytest.raises(ValueError, match="at most"):
+            encode_champsim([SyntheticInstr(pc=0, reads=(1, 2, 3, 4, 5))])
+
+    def test_issue_order_is_reads_then_writes(self):
+        payload = encode_champsim(
+            [SyntheticInstr(pc=0x10, reads=(64, 128), writes=(192,))]
+        )
+        got = decode_all(io.BytesIO(payload), "champsim")
+        assert got.addrs.tolist() == [1, 2, 3]
+        assert got.writes.tolist() == [False, False, True]
+
+
+class TestTextEdges:
+    def test_lackey_modify_is_a_write(self):
+        text = b"I  0000ABCD,4\n M 00010040,8\n"
+        got = decode_all(io.BytesIO(text), "lackey")
+        assert got.writes.tolist() == [True]
+        assert got.pcs.tolist() == [0xABCD]
+
+    def test_lackey_banner_lines_are_skipped(self):
+        text = b"==1234== lackey\n\nI  00000100,4\n L 00000040,8\n"
+        got = decode_all(io.BytesIO(text), "lackey")
+        assert len(got.addrs) == 1 and got.instructions == 1
+
+    def test_lackey_garbage_operand_raises(self):
+        with pytest.raises(FormatError, match="bad lackey line"):
+            decode_all(io.BytesIO(b" L nope,8\n"), "lackey")
+
+    def test_drcachesim_header_lines_are_skipped(self):
+        text = (
+            b"Output format:\n<record>: T<tid> <type>\n"
+            b"  1: T1 ifetch      4 byte(s) @ 0x0000000000400000 non-branch\n"
+            b"  2: T1 read        8 byte(s) @ 0x0000000000010040\n"
+        )
+        got = decode_all(io.BytesIO(text), "drcachesim")
+        assert got.addrs.tolist() == [0x10040 >> 6]
+        assert got.pcs.tolist() == [0x400000]
+        assert got.instructions == 1
+
+    def test_drcachesim_garbage_address_raises(self):
+        with pytest.raises(FormatError, match="bad drcachesim line"):
+            decode_all(io.BytesIO(b"  1: T1 read 8 byte(s) @ 0xZZ\n"), "drcachesim")
+
+
+class TestOpenStream:
+    def test_gz_and_xz_and_plain(self, tmp_path):
+        instrs = [SyntheticInstr(pc=0x400000, reads=(0x1000,), writes=(0x2000,))]
+        payload = encode_lackey(instrs).encode()
+        plain = tmp_path / "t.lackey.out"
+        plain.write_bytes(payload)
+        (tmp_path / "t.lackey.out.gz").write_bytes(gzip.compress(payload))
+        (tmp_path / "t.lackey.out.xz").write_bytes(lzma.compress(payload))
+        want = expected_accesses(instrs)
+        for name in ("t.lackey.out", "t.lackey.out.gz", "t.lackey.out.xz"):
+            with open_stream(tmp_path / name) as stream:
+                assert_batches_equal(decode_all(stream, "lackey"), want)
